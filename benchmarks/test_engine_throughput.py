@@ -1,0 +1,68 @@
+"""Simulator micro-benchmarks (not a paper artifact).
+
+Real timing measurements of the engine itself — the only benchmarks here
+that run multiple timing rounds.  They guard against performance
+regressions that would make the figure sweeps impractical:
+
+* one honest ERB instance at N = 64 (~8k messages + ACKs);
+* one honest ERNG instance at N = 16 (~8k messages across 16 cores);
+* FULL-crypto channel write/read round trip.
+"""
+
+from __future__ import annotations
+
+from repro import SimulationConfig, run_erb, run_erng
+from repro.channel.peer_channel import SecureChannel
+from repro.common.config import ChannelSecurity
+from repro.common.rng import DeterministicRNG
+from repro.common.types import MessageType, ProtocolMessage
+from repro.crypto.dh import MODP_768
+from repro.sgx.attestation import AttestationAuthority
+from repro.sgx.enclave import Enclave
+from repro.sgx.program import EnclaveProgram
+from repro.sgx.trusted_time import SimulationClock
+
+
+def test_engine_erb_n64(benchmark):
+    def run():
+        result = run_erb(
+            SimulationConfig(n=64, seed=20), initiator=0, message=b"perf"
+        )
+        assert result.rounds_executed == 2
+        return result.traffic.messages_sent
+
+    messages = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert messages == 8064
+
+
+def test_engine_erng_n16(benchmark):
+    def run():
+        result = run_erng(SimulationConfig(n=16, seed=21))
+        assert len(set(result.outputs.values())) == 1
+        return result.traffic.messages_sent
+
+    messages = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert messages > 7000
+
+
+class _PerfProgram(EnclaveProgram):
+    PROGRAM_NAME = "perf-channel"
+
+
+def test_full_channel_roundtrip(benchmark):
+    rng = DeterministicRNG("perf")
+    clock = SimulationClock()
+    authority = AttestationAuthority(rng)
+    a = Enclave(0, _PerfProgram(), rng, clock, authority)
+    b = Enclave(1, _PerfProgram(), rng, clock, authority)
+    channel = SecureChannel.establish(a, b, ChannelSecurity.FULL, MODP_768)
+    message = ProtocolMessage(
+        MessageType.ECHO, 0, 1, b"x" * 64, 1, "perf"
+    )
+
+    def roundtrip():
+        wire = channel.write(0, message, a.rdrand.rng(), a.measurement)
+        return channel.read(1, wire)
+
+    received = benchmark.pedantic(roundtrip, rounds=50, iterations=10)
+    assert received.payload == b"x" * 64

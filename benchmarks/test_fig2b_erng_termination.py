@@ -1,0 +1,74 @@
+"""Fig. 2b — ERNG termination time vs network size (honest case).
+
+Paper: termination stays roughly constant for small N (2^2..2^7) and then
+climbs once the (near-)cubic traffic of the unoptimized protocol floods
+the shared link.  We reproduce both regimes: constant-round honest
+termination plus the bandwidth-driven climb on a tight link.
+"""
+
+from __future__ import annotations
+
+from bench_common import pick, powers_of_two, print_table, save_results
+
+from repro import ClusterConfig, SimulationConfig, run_erng, run_optimized_erng
+
+TIGHT_LINK = 4 * 1024 * 1024  # bytes/s — shifts the climb into our sweep
+
+
+def _sweep():
+    sizes = pick(
+        smoke=powers_of_two(4, 16),
+        default=powers_of_two(4, 64),
+        full=powers_of_two(4, 128),
+    )
+    rows = []
+    for n in sizes:
+        unopt = run_erng(SimulationConfig(n=n, seed=2))
+        unopt_tight = run_erng(
+            SimulationConfig(n=n, seed=2, bandwidth_bytes_per_s=TIGHT_LINK)
+        )
+        opt = run_optimized_erng(
+            SimulationConfig(n=n, t=n // 3, seed=2),
+            cluster=ClusterConfig(mode="fixed_fraction"),
+        )
+        assert len(set(unopt.outputs.values())) == 1
+        assert len(set(opt.outputs.values())) == 1
+        rows.append(
+            {
+                "n": n,
+                "unopt_rounds": unopt.rounds_executed,
+                "unopt_s": unopt.termination_seconds,
+                "unopt_tight_s": unopt_tight.termination_seconds,
+                "opt_rounds": opt.rounds_executed,
+                "opt_s": opt.termination_seconds,
+                "unopt_mb": unopt.traffic.megabytes_sent,
+            }
+        )
+    return rows
+
+
+def test_fig2b_erng_termination(benchmark):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+
+    print_table(
+        "Fig 2b — ERNG honest termination (simulated seconds)",
+        ["N", "ERNG-0 rounds", "ERNG-0 (s)", "ERNG-0 (s), 4MB/s link",
+         "ERNG-1 rounds", "ERNG-1 (s)", "ERNG-0 traffic (MB)"],
+        [
+            (r["n"], r["unopt_rounds"], r["unopt_s"], r["unopt_tight_s"],
+             r["opt_rounds"], r["opt_s"], r["unopt_mb"])
+            for r in rows
+        ],
+    )
+    save_results("fig2b_erng_termination", {"rows": rows})
+
+    # Constant honest termination on an unconstrained link (all ERB
+    # instances settle in 2 rounds; the optimized version in <= 5).
+    assert len({r["unopt_s"] for r in rows}) == 1
+    assert all(r["unopt_rounds"] == 2 for r in rows)
+    assert all(r["opt_rounds"] <= 5 for r in rows)
+
+    # The climb: cubic traffic through a tight link stretches rounds at
+    # the top of the sweep but not at the bottom (the paper's shape).
+    assert rows[0]["unopt_tight_s"] == rows[0]["unopt_s"]
+    assert rows[-1]["unopt_tight_s"] > rows[-1]["unopt_s"]

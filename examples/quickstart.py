@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Quickstart: reliable broadcast and common random numbers in a P2P
+network of SGX-enclave peers.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ClusterConfig, SimulationConfig, run_erb, run_erng, run_optimized_erng
+
+
+def broadcast_demo() -> None:
+    print("=" * 64)
+    print("ERB — enclaved reliable broadcast (Algorithm 2)")
+    print("=" * 64)
+    config = SimulationConfig(n=16, seed=7)
+    print(f"network: N={config.n}, tolerating t={config.t} byzantine peers")
+
+    result = run_erb(config, initiator=0, message=b"block #42")
+    values = set(result.outputs.values())
+    print(f"all {len(result.outputs)} peers accepted: {values}")
+    print(f"rounds: {result.rounds_executed} (early stopping: honest initiator => 2)")
+    print(f"simulated time: {result.termination_seconds:.1f} s")
+    print(f"traffic: {result.traffic.summary()}")
+
+
+def rng_demo() -> None:
+    print()
+    print("=" * 64)
+    print("ERNG — common unbiased random number (Algorithm 3)")
+    print("=" * 64)
+    config = SimulationConfig(n=16, seed=7)
+    result = run_erng(config)
+    values = set(result.outputs.values())
+    assert len(values) == 1, "all honest peers must agree"
+    print(f"agreed 128-bit value: {values.pop():#034x}")
+    print(f"rounds: {result.rounds_executed}, traffic: {result.traffic.summary()}")
+
+
+def optimized_rng_demo() -> None:
+    print()
+    print("=" * 64)
+    print("Optimized ERNG — cluster-sampled (Algorithm 6, t <= N/3)")
+    print("=" * 64)
+    config = SimulationConfig(n=120, t=40, seed=11)
+    result = run_optimized_erng(
+        config, cluster=ClusterConfig(mode="sampled", gamma=7)
+    )
+    values = set(result.outputs.values())
+    assert len(values) == 1
+    print(f"agreed value across {config.n} peers: {values.pop():#034x}")
+    print(f"rounds: {result.rounds_executed}, traffic: {result.traffic.summary()}")
+    chosen = result.traffic.messages_by_type
+    print(
+        "cluster machinery: "
+        f"{chosen} message breakdown — note how few ECHOs vs the O(N^3) "
+        "the unoptimized protocol would need"
+    )
+
+
+if __name__ == "__main__":
+    broadcast_demo()
+    rng_demo()
+    optimized_rng_demo()

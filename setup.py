@@ -1,0 +1,8 @@
+"""Shim for legacy editable installs (environments without the ``wheel``
+package cannot build PEP 660 editable wheels; ``--no-use-pep517`` plus
+this file restores ``setup.py develop``).  All real metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — a reproduction of "Robust P2P Primitives Using SGX Enclaves"
+(Jia, Tople, Moataz, Gong, Saxena, Liang — ICDCS 2020).
+
+Quick start::
+
+    from repro import SimulationConfig, run_erb, run_erng
+
+    config = SimulationConfig(n=16, seed=7)
+    result = run_erb(config, initiator=0, message=b"hello")
+    assert all(v == b"hello" for v in result.outputs.values())
+
+    rng = run_erng(SimulationConfig(n=16, seed=7))
+    # every honest node holds the same unbiased 128-bit value
+    assert len(set(rng.outputs.values())) == 1
+
+Package layout (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — the paper's contribution: ERB (Alg. 2), ERNG
+  (Alg. 3), optimized ERNG (Alg. 6), the strawman (Alg. 1), the P1-P6
+  property registry, and the Appendix D sanitization model;
+* :mod:`repro.sgx` — simulated SGX features F1-F4;
+* :mod:`repro.channel` — the blinded peer channel (Appendix A, Fig. 4);
+* :mod:`repro.net` — the synchronous network simulator;
+* :mod:`repro.adversary` — byzantine OS behaviours (attacks A1-A5);
+* :mod:`repro.baselines` — RBsig (Alg. 4) and RBearly (Alg. 5);
+* :mod:`repro.crypto` — from-scratch primitives (SKE, MAC, DH, Schnorr);
+* :mod:`repro.analysis` — complexity formulas, bias estimation, cluster
+  math;
+* :mod:`repro.apps` — Appendix H applications (beacon, random walk,
+  shared keys, load balancing).
+"""
+
+from repro.common.config import AdversaryModel, ChannelSecurity, SimulationConfig
+from repro.common.types import MessageType, NodeId, ProtocolMessage
+from repro.core.agreement import (
+    run_byzantine_agreement,
+    run_interactive_consistency,
+)
+from repro.core.churn import ChurnDriver
+from repro.core.erb import ErbProgram, run_erb
+from repro.core.flooding import run_flood_erb
+from repro.core.erng import ErngProgram, run_erng
+from repro.core.erng_optimized import (
+    ClusterConfig,
+    OptimizedErngProgram,
+    run_optimized_erng,
+)
+from repro.core.strawman import run_strawman_broadcast, run_strawman_rng
+from repro.net.simulator import RunResult, SynchronousNetwork
+from repro.net.topology import Topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdversaryModel",
+    "ChannelSecurity",
+    "ChurnDriver",
+    "ClusterConfig",
+    "ErbProgram",
+    "ErngProgram",
+    "MessageType",
+    "NodeId",
+    "OptimizedErngProgram",
+    "ProtocolMessage",
+    "RunResult",
+    "SimulationConfig",
+    "SynchronousNetwork",
+    "Topology",
+    "__version__",
+    "run_byzantine_agreement",
+    "run_erb",
+    "run_erng",
+    "run_flood_erb",
+    "run_interactive_consistency",
+    "run_optimized_erng",
+    "run_strawman_broadcast",
+    "run_strawman_rng",
+]

@@ -1,0 +1,58 @@
+"""Adversarial OS behaviours — the untrusted half of a peer.
+
+The paper's attacker model (Section 2.2) is a byzantine *operating system*
+under an honest enclave.  Accordingly, an adversary here never touches
+enclave state; it manipulates wire messages: drop them (omission, A3),
+hold them (delay, A4), re-send old ones (replay, A5), flip bits (forgery
+attempt, A2), or — only when the channel security is ``NONE``, i.e. the
+strawman protocol — read and rewrite plaintext (A1/A2 proper).
+
+The failure-mode hierarchy of Definition A.5 maps onto these classes:
+
+* honest           — no behaviour attached (``None``);
+* general-omission — :class:`RandomOmission`, :class:`SelectiveOmission`;
+* ROD              — adds :class:`DelayAdversary`, :class:`ReplayAdversary`;
+* byzantine        — adds :class:`TamperAdversary`, :class:`EquivocationForger`,
+  :class:`LookaheadBiasAdversary` (the latter two only bite under ``NONE``).
+"""
+
+from repro.adversary.behaviors import CompositeBehavior, OSBehavior, PassthroughBehavior
+from repro.adversary.classification import (
+    ActionTrace,
+    WireAction,
+    classify_actions,
+    classify_all,
+    classify_node,
+)
+from repro.adversary.byzantine import (
+    EquivocationForger,
+    LookaheadBiasAdversary,
+    TamperAdversary,
+)
+from repro.adversary.omission import (
+    RandomOmission,
+    ReceiveOmission,
+    SelectiveOmission,
+)
+from repro.adversary.rod import DelayAdversary, ReplayAdversary
+from repro.adversary.strategies import chain_delay_strategy
+
+__all__ = [
+    "ActionTrace",
+    "WireAction",
+    "classify_actions",
+    "classify_all",
+    "classify_node",
+    "CompositeBehavior",
+    "DelayAdversary",
+    "EquivocationForger",
+    "LookaheadBiasAdversary",
+    "OSBehavior",
+    "PassthroughBehavior",
+    "RandomOmission",
+    "ReceiveOmission",
+    "ReplayAdversary",
+    "SelectiveOmission",
+    "TamperAdversary",
+    "chain_delay_strategy",
+]

@@ -1,0 +1,84 @@
+"""Omission adversaries — the general-omission model's full power (A3).
+
+Since the blinded channel hides message *content* (P3), the only omission
+strategies left to a byzantine OS are content-oblivious ones: random drops
+and drops keyed on the *identity* of the counterparty.  The latter is
+exactly the attack halt-on-divergence (P4) punishes: a node that omits its
+multicast to more than ``N - 1 - t`` peers cannot collect ``t`` ACKs and
+its enclave churns itself out of the network.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Iterable
+
+from repro.adversary.behaviors import OSBehavior, Transmission
+from repro.channel.peer_channel import WireMessage
+from repro.common.rng import DeterministicRNG
+from repro.common.types import NodeId
+
+
+class RandomOmission(OSBehavior):
+    """Drop each outgoing/incoming message independently at random."""
+
+    def __init__(
+        self,
+        rng: DeterministicRNG,
+        send_drop_p: float = 0.0,
+        recv_drop_p: float = 0.0,
+    ) -> None:
+        self._rng = rng
+        self._send_drop_p = send_drop_p
+        self._recv_drop_p = recv_drop_p
+
+    def filter_send(self, wire: WireMessage, rnd: int) -> Iterable[Transmission]:
+        if self._send_drop_p and self._rng.bernoulli(self._send_drop_p):
+            return ()
+        return ((0, wire),)
+
+    def filter_receive(self, wire: WireMessage, rnd: int) -> bool:
+        if self._recv_drop_p and self._rng.bernoulli(self._recv_drop_p):
+            return False
+        return True
+
+
+class SelectiveOmission(OSBehavior):
+    """Omit messages to/from a fixed set of victims (identity-based A3).
+
+    This is the equivocation-by-omission strategy of attack A3's second
+    type: broadcast correctly to a few nodes and starve the rest hoping to
+    split the final decision.  Under ERB the sender then misses ACKs from
+    the starved majority and halts.
+    """
+
+    def __init__(
+        self,
+        victims: Collection[NodeId],
+        omit_sends: bool = True,
+        omit_receives: bool = False,
+    ) -> None:
+        self._victims = frozenset(victims)
+        self._omit_sends = omit_sends
+        self._omit_receives = omit_receives
+
+    def filter_send(self, wire: WireMessage, rnd: int) -> Iterable[Transmission]:
+        if self._omit_sends and wire.receiver in self._victims:
+            return ()
+        return ((0, wire),)
+
+    def filter_receive(self, wire: WireMessage, rnd: int) -> bool:
+        if self._omit_receives and wire.sender in self._victims:
+            return False
+        return True
+
+
+class ReceiveOmission(OSBehavior):
+    """Drop *all* incoming traffic (a mute listener).
+
+    Such a node still multicasts; honest peers ACK it, so it survives —
+    but it never accepts anything, matching the general-omission model's
+    receive-omission faults.
+    """
+
+    def filter_receive(self, wire: WireMessage, rnd: int) -> bool:
+        return False

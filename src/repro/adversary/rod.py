@@ -1,0 +1,58 @@
+"""ROD-model additions: delay (A4) and replay (A5).
+
+Both attacks are *attempted* faithfully and defeated by different layers:
+
+* a delayed message arrives stamped with its original round number, and
+  lockstep execution (P5, enforced by the trusted clock) makes the
+  receiving enclave treat a wrong-round message as omitted;
+* a replayed wire message carries a counter at or below the receiver's
+  replay-guard high-water mark (P6) and is rejected by the channel.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.adversary.behaviors import OSBehavior, Transmission
+from repro.channel.peer_channel import WireMessage
+
+
+class DelayAdversary(OSBehavior):
+    """Hold every outgoing message for ``delay_rounds`` rounds (A4)."""
+
+    def __init__(self, delay_rounds: int = 1) -> None:
+        if delay_rounds < 0:
+            raise ValueError("delay must be non-negative")
+        self._delay = delay_rounds
+
+    def filter_send(self, wire: WireMessage, rnd: int) -> Iterable[Transmission]:
+        return ((self._delay, wire),)
+
+
+class ReplayAdversary(OSBehavior):
+    """Record every outgoing wire message and re-send copies later (A5).
+
+    ``burst`` controls how many stored messages are re-injected per round.
+    The replays pass through the network like any other traffic; the
+    receiving channel's freshness counter rejects them.
+    """
+
+    def __init__(self, replay_after_rounds: int = 1, burst: int = 16) -> None:
+        self._replay_after = replay_after_rounds
+        self._burst = burst
+        self._stored: List[tuple] = []  # (ready_round, wire)
+        self.replays_sent = 0
+
+    def filter_send(self, wire: WireMessage, rnd: int) -> Iterable[Transmission]:
+        self._stored.append((rnd + self._replay_after, wire))
+        return ((0, wire),)
+
+    def drain_injections(self, rnd: int) -> Iterable[Transmission]:
+        ready = [item for item in self._stored if item[0] <= rnd]
+        if not ready:
+            return ()
+        batch = ready[: self._burst]
+        for item in batch:
+            self._stored.remove(item)
+        self.replays_sent += len(batch)
+        return tuple((0, wire) for _, wire in batch)

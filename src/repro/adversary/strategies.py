@@ -1,0 +1,52 @@
+"""Coordinated multi-node adversary strategies.
+
+:func:`chain_delay_strategy` builds the worst case of Section 6.3: the
+byzantine nodes form a chain; each one forwards the broadcast value to
+exactly one other byzantine node per round and is then eliminated (it
+collected at most one ACK).  The value thus crawls through all ``f``
+byzantine nodes before reaching an honest peer, stretching ERB to its
+``min{f+2, t+2}`` bound — the linear growth visible in Fig. 2c.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.adversary.behaviors import OSBehavior, Transmission
+from repro.channel.peer_channel import WireMessage
+from repro.common.types import MessageType, NodeId
+
+
+class _ChainLink(OSBehavior):
+    """Forward protocol messages only to the designated successor."""
+
+    def __init__(self, successor: NodeId) -> None:
+        self._successor = successor
+
+    def filter_send(self, wire: WireMessage, rnd: int) -> Iterable[Transmission]:
+        if wire.mtype is MessageType.ACK:
+            # ACKs flow normally; the chain manipulates broadcast values.
+            return ((0, wire),)
+        if wire.receiver == self._successor:
+            return ((0, wire),)
+        return ()
+
+
+def chain_delay_strategy(
+    byzantine_ids: Sequence[NodeId], honest_target: NodeId
+) -> Dict[NodeId, OSBehavior]:
+    """Behaviours implementing the delay chain.
+
+    ``byzantine_ids`` is the chain order (the first should be the
+    broadcast initiator); the last link releases the value to
+    ``honest_target``, after which normal ERB flooding finishes the job in
+    two more rounds.
+    """
+    if not byzantine_ids:
+        return {}
+    behaviours: Dict[NodeId, OSBehavior] = {}
+    ids: List[NodeId] = list(byzantine_ids)
+    for position, node in enumerate(ids):
+        successor = ids[position + 1] if position + 1 < len(ids) else honest_target
+        behaviours[node] = _ChainLink(successor)
+    return behaviours

@@ -1,0 +1,49 @@
+"""Analytical companions to the simulation.
+
+* :mod:`repro.analysis.complexity` — closed-form message/byte/round
+  predictions (the "Th" curves of Figs. 2-3 and the formulas of
+  Tables 1-2);
+* :mod:`repro.analysis.bias` — the β(G) bias estimator of Definition 2.2,
+  used to show the strawman beacon is biased and ERNG is not;
+* :mod:`repro.analysis.cluster` — the binomial tail bounds behind
+  Lemmas F.1/F.2 (representative-cluster quality).
+"""
+
+from repro.analysis.bias import empirical_bias, uniformity_chi_square
+from repro.analysis.cluster import (
+    cluster_quality_prob,
+    expected_cluster_size,
+    recommended_gamma,
+)
+from repro.analysis.complexity import (
+    erb_bytes_honest,
+    erb_messages_honest,
+    erb_rounds,
+    erng_opt_bytes_honest,
+    erng_opt_rounds,
+    erng_unopt_bytes_honest,
+    erng_unopt_messages_honest,
+    rb_early_messages,
+    rb_sig_bytes,
+    TABLE1_FORMULAS,
+    TABLE2_FORMULAS,
+)
+
+__all__ = [
+    "TABLE1_FORMULAS",
+    "TABLE2_FORMULAS",
+    "cluster_quality_prob",
+    "empirical_bias",
+    "erb_bytes_honest",
+    "erb_messages_honest",
+    "erb_rounds",
+    "erng_opt_bytes_honest",
+    "erng_opt_rounds",
+    "erng_unopt_bytes_honest",
+    "erng_unopt_messages_honest",
+    "expected_cluster_size",
+    "rb_early_messages",
+    "rb_sig_bytes",
+    "recommended_gamma",
+    "uniformity_chi_square",
+]

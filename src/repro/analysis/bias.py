@@ -1,0 +1,99 @@
+"""Empirical bias estimation — Definition 2.2 made measurable.
+
+The paper defines the bias of a randomness generator ``G`` as::
+
+    β(G) = max_{S ⊆ {0,1}^k}  max( E[S]/E_G[S],  E_G[S]/E[S] )
+
+where ``E_G[S]`` is the expected number of outputs landing in ``S`` and
+``E[S] = |S| / 2^k`` the uniform expectation.  β = 1 means unbiased.
+
+Maximizing over *all* subsets is infeasible, so :func:`empirical_bias`
+evaluates a family of standard distinguisher sets — individual bits,
+parity, low/high halves, residue classes — which is exactly the family
+the look-ahead attacker of Section 2.3 can bias (it steers a predicate of
+its choice).  The estimator reports the worst ratio over the family.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Dict, Iterable, List, Sequence, Tuple
+
+from repro.common.errors import ConfigurationError
+
+TestSet = Tuple[str, Callable[[int], bool], float]  # (name, membership, E[S])
+
+
+def standard_test_sets(k: int) -> List[TestSet]:
+    """Distinguisher family over {0,1}^k: bits, parity, halves, mod-3."""
+    tests: List[TestSet] = []
+    for bit in range(min(k, 8)):
+        tests.append(
+            (f"bit{bit}", lambda x, b=bit: (x >> b) & 1 == 1, 0.5)
+        )
+    tests.append(("parity", lambda x: bin(x).count("1") % 2 == 1, 0.5))
+    half = 1 << (k - 1)
+    tests.append(("high-half", lambda x, h=half: x >= h, 0.5))
+    tests.append(("mod3", lambda x: x % 3 == 0, _mod3_density(k)))
+    return tests
+
+
+def _mod3_density(k: int) -> float:
+    """Exact density of multiples of 3 in [0, 2^k)."""
+    total = 1 << k
+    return (total + 2) // 3 / total
+
+
+def empirical_bias(
+    samples: Sequence[int],
+    k: int,
+    tests: Iterable[TestSet] = None,
+) -> Dict[str, float]:
+    """Worst-case empirical β over the test family.
+
+    Returns a dict with per-test ratios plus ``"beta"``, the maximum.
+    Ratios are clamped away from zero-frequency blowups by add-one
+    smoothing, so small samples do not report infinite bias.
+    """
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    if tests is None:
+        tests = standard_test_sets(k)
+    n = len(samples)
+    results: Dict[str, float] = {}
+    beta = 1.0
+    for name, member, expected_density in tests:
+        hits = sum(1 for x in samples if member(x))
+        observed = (hits + 1) / (n + 2)  # add-one smoothing
+        ratio = max(observed / expected_density, expected_density / observed)
+        results[name] = ratio
+        beta = max(beta, ratio)
+    results["beta"] = beta
+    return results
+
+
+def uniformity_chi_square(
+    samples: Sequence[int], k: int, buckets: int = 16
+) -> Tuple[float, float]:
+    """Chi-square statistic against uniformity over ``buckets`` bins.
+
+    Returns ``(statistic, critical_5pct)``; a uniform source should
+    produce ``statistic < critical`` about 95 % of the time.  The critical
+    value uses the Wilson-Hilferty approximation of the chi-square
+    quantile, good to a few percent for df >= 5.
+    """
+    if buckets < 2:
+        raise ConfigurationError("need at least two buckets")
+    if not samples:
+        raise ConfigurationError("need at least one sample")
+    span = 1 << k
+    counts = [0] * buckets
+    for x in samples:
+        counts[min(buckets - 1, x * buckets // span)] += 1
+    expected = len(samples) / buckets
+    statistic = sum((c - expected) ** 2 / expected for c in counts)
+    df = buckets - 1
+    # Wilson-Hilferty: chi2_q(df) ≈ df * (1 - 2/(9 df) + z_q sqrt(2/(9 df)))^3
+    z95 = 1.6448536269514722
+    critical = df * (1 - 2 / (9 * df) + z95 * math.sqrt(2 / (9 * df))) ** 3
+    return statistic, critical

@@ -1,0 +1,105 @@
+"""Representative-cluster quality — Lemmas F.1 and F.2, computed exactly.
+
+Algorithm 6 samples each node into the cluster with probability
+``q = 2γ/N``.  With ``t ≤ N/3`` byzantine nodes, Lemma F.1 shows the
+cluster w.h.p. contains more than γ honest and fewer than γ byzantine
+members.  Rather than the Chernoff bounds of the appendix, these helpers
+evaluate the exact binomial tails (fine for the N values we simulate), so
+tests can check the *actual* failure probability of a given (N, t, γ).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.common.errors import ConfigurationError
+
+
+def _binom_pmf_log(n: int, p: float, i: int) -> float:
+    """log Pr[Bin(n, p) = i], via lgamma (stable for huge n)."""
+    return (
+        math.lgamma(n + 1)
+        - math.lgamma(i + 1)
+        - math.lgamma(n - i + 1)
+        + i * math.log(p)
+        + (n - i) * math.log(1.0 - p)
+    )
+
+
+def _binom_cdf(n: int, p: float, k: int) -> float:
+    """Pr[Bin(n, p) <= k].  Sums pmf terms in log space; exact up to
+    float rounding, and the k values here (≈ γ) are small."""
+    if k < 0:
+        return 0.0
+    if k >= n:
+        return 1.0
+    if p <= 0.0:
+        return 1.0
+    if p >= 1.0:
+        return 0.0  # X = n > k surely
+    total = 0.0
+    for i in range(0, k + 1):
+        total += math.exp(_binom_pmf_log(n, p, i))
+    return min(1.0, total)
+
+
+def _binom_tail_ge(n: int, p: float, k: int) -> float:
+    """Pr[Bin(n, p) >= k]."""
+    return 1.0 - _binom_cdf(n, p, k - 1)
+
+
+def _binom_tail_le(n: int, p: float, k: int) -> float:
+    """Pr[Bin(n, p) <= k]."""
+    return _binom_cdf(n, p, k)
+
+
+def cluster_quality_prob(n: int, t: int, gamma: int) -> Dict[str, float]:
+    """Lemma F.1 events, exactly.
+
+    Returns the probabilities that the sampled cluster has (a) more than γ
+    honest members, (b) fewer than γ byzantine members, and (c) both.
+    Independence of the two coins makes (c) the product.
+    """
+    if not 0 <= t <= n:
+        raise ConfigurationError(f"invalid t={t} for n={n}")
+    if gamma < 1:
+        raise ConfigurationError("gamma must be >= 1")
+    span = max(1, n // (2 * gamma))
+    q = 1.0 / span  # per-node selection probability (≈ 2γ/N)
+    honest = n - t
+    p_honest = _binom_tail_ge(honest, q, gamma + 1)
+    p_byz = _binom_tail_le(t, q, gamma - 1)
+    return {
+        "selection_p": q,
+        "honest_gt_gamma": p_honest,
+        "byzantine_lt_gamma": p_byz,
+        "both": p_honest * p_byz,
+    }
+
+
+def expected_cluster_size(n: int, gamma: int) -> float:
+    """E[|cluster|] = N · q ≈ 2γ."""
+    span = max(1, n // (2 * gamma))
+    return n / span
+
+
+def second_cluster_expectation(cluster_size: float, gamma: int) -> float:
+    """Expected initiators after the second coin (Lemma F.2): c / √γ."""
+    gamma2 = max(1, math.isqrt(gamma))
+    return cluster_size / gamma2
+
+
+def recommended_gamma(n: int, failure_target: float = 1e-6) -> int:
+    """Smallest γ whose Lemma F.1 failure probability is below target.
+
+    Evaluated exactly with ``t = N/3``; falls back to γ = N/2 span limits
+    when no γ qualifies (tiny networks, where Algorithm 6's sampling
+    doesn't apply — use fixed_fraction mode instead).
+    """
+    t = n // 3
+    for gamma in range(2, max(3, n // 2)):
+        quality = cluster_quality_prob(n, t, gamma)
+        if 1.0 - quality["both"] <= failure_target:
+            return gamma
+    return max(2, n // 2)

@@ -1,0 +1,34 @@
+"""Applications built on ERB/ERNG (Appendix H).
+
+Each module is a small but complete system exercising the public API:
+
+* :mod:`repro.apps.beacon` — a hash-chained random beacon service driven
+  by ERNG epochs (NIST-beacon style, but with distributed trust);
+* :mod:`repro.apps.random_walk` — byzantine-robust random walks over a
+  P2P topology, seeded by beacon output (the Guerraoui et al. use case);
+* :mod:`repro.apps.shared_key` — group session-key derivation from a
+  common unbiased random value;
+* :mod:`repro.apps.load_balancer` — decentralized randomized load
+  balancing with no single point of failure, including sealed
+  pre-generated randomness (the Appendix H speed-up);
+* :mod:`repro.apps.voting` — commit-reveal polls with interactive
+  consistency for commitment freezing and ERNG tie-breaking.
+"""
+
+from repro.apps.beacon import BeaconRecord, RandomBeacon
+from repro.apps.load_balancer import PregeneratedRandomness, RandomizedLoadBalancer
+from repro.apps.random_walk import RandomWalk
+from repro.apps.shared_key import GroupKeyAgreement, derive_group_key
+from repro.apps.voting import CommitRevealPoll, PollResult
+
+__all__ = [
+    "BeaconRecord",
+    "CommitRevealPoll",
+    "GroupKeyAgreement",
+    "PollResult",
+    "PregeneratedRandomness",
+    "RandomBeacon",
+    "RandomWalk",
+    "RandomizedLoadBalancer",
+    "derive_group_key",
+]

@@ -1,0 +1,127 @@
+"""A distributed random beacon (Appendix H, "Random Beacons").
+
+Every epoch the peer network runs one ERNG instance; the resulting common
+unbiased value is appended to a hash-chained public log, NIST-beacon
+style — except no trusted third party exists: any ``t < N/2`` (or
+``t ≤ N/3`` with the optimized protocol) byzantine peers can neither bias
+nor predict the output.
+
+The chain commits each epoch to its predecessor
+(``digest = H(epoch || value || prev_digest)``), so a consumer who saw
+record ``i`` can later verify that record ``i+k`` extends the same
+history — retroactive rewriting requires breaking the hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ProtocolError
+from repro.common.serialization import encode
+from repro.common.types import NodeId
+from repro.core.erng import run_erng
+from repro.core.erng_optimized import ClusterConfig, run_optimized_erng
+from repro.crypto.hashing import hash_bytes
+
+
+@dataclass(frozen=True)
+class BeaconRecord:
+    """One epoch of the beacon log."""
+
+    epoch: int
+    value: int
+    prev_digest: bytes
+    digest: bytes
+
+    @staticmethod
+    def compute_digest(epoch: int, value: int, prev_digest: bytes) -> bytes:
+        return hash_bytes(
+            encode((epoch, value, prev_digest)), domain="beacon-record"
+        )
+
+
+class RandomBeacon:
+    """An ERNG-backed beacon service over a fixed peer population."""
+
+    GENESIS = hash_bytes(b"beacon-genesis", domain="beacon-record")
+
+    def __init__(
+        self,
+        n: int,
+        t: int = -1,
+        optimized: bool = False,
+        cluster: Optional[ClusterConfig] = None,
+        seed: int = 0,
+        random_bits: int = 128,
+        behaviors: Optional[Dict[NodeId, object]] = None,
+    ) -> None:
+        self.n = n
+        self.t = t
+        self.optimized = optimized
+        self.cluster = cluster
+        self.seed = seed
+        self.random_bits = random_bits
+        self.behaviors = behaviors
+        self.log: List[BeaconRecord] = []
+
+    # ------------------------------------------------------------------
+    def next_beacon(self) -> BeaconRecord:
+        """Run one ERNG epoch and append the result to the chain."""
+        epoch = len(self.log)
+        config = SimulationConfig(
+            n=self.n,
+            t=self.t,
+            seed=self._epoch_seed(epoch),
+            random_bits=self.random_bits,
+        )
+        if self.optimized:
+            result = run_optimized_erng(
+                config, cluster=self.cluster, behaviors=self.behaviors
+            )
+        else:
+            result = run_erng(config, behaviors=self.behaviors)
+        value = self._common_output(result)
+        prev = self.log[-1].digest if self.log else self.GENESIS
+        record = BeaconRecord(
+            epoch=epoch,
+            value=value,
+            prev_digest=prev,
+            digest=BeaconRecord.compute_digest(epoch, value, prev),
+        )
+        self.log.append(record)
+        return record
+
+    def _epoch_seed(self, epoch: int) -> int:
+        material = hash_bytes(
+            encode((self.seed, epoch, self.log[-1].digest if self.log else b"")),
+            domain="beacon-epoch-seed",
+        )
+        return int.from_bytes(material[:8], "big")
+
+    def _common_output(self, result) -> int:
+        byzantine = set(self.behaviors or ())
+        outputs = result.honest_outputs(byzantine)
+        values = {v for v in outputs.values() if v is not None}
+        if len(values) != 1:
+            raise ProtocolError(
+                f"beacon epoch failed to converge: honest outputs {values!r}"
+            )
+        return values.pop()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def verify_chain(records: Sequence[BeaconRecord]) -> bool:
+        """Check hash-chain integrity of a beacon log prefix."""
+        prev = RandomBeacon.GENESIS
+        for index, record in enumerate(records):
+            if record.epoch != index or record.prev_digest != prev:
+                return False
+            expected = BeaconRecord.compute_digest(
+                record.epoch, record.value, record.prev_digest
+            )
+            if record.digest != expected:
+                return False
+            prev = record.digest
+        return True

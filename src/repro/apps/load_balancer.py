@@ -1,0 +1,123 @@
+"""Decentralized randomized load balancing (Appendix H, "Random Load
+Balancing").
+
+A centralized dispatcher is a single point of failure; here a cluster of
+peers agrees on beacon randomness (ERNG) and every peer independently
+computes the same task→worker assignment from it — rendezvous hashing
+keyed by the common random value, so removing a failed worker reshuffles
+only that worker's tasks.
+
+Appendix H also suggests pre-generating randomness offline and *sealing*
+it to the enclave; :class:`PregeneratedRandomness` implements exactly
+that on top of :mod:`repro.sgx.sealing` — values are sealed to the
+(platform, program) identity and unsealing under a different program
+fails.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.common.serialization import decode, encode
+from repro.crypto.hashing import hash_bytes
+from repro.sgx.sealing import seal_data, unseal_data
+
+
+class RandomizedLoadBalancer:
+    """Deterministic task assignment from a common random value."""
+
+    def __init__(self, workers: Sequence[str], beacon_value: int) -> None:
+        if not workers:
+            raise ConfigurationError("need at least one worker")
+        if len(set(workers)) != len(workers):
+            raise ConfigurationError("worker names must be unique")
+        self.workers: List[str] = list(workers)
+        self.beacon_value = beacon_value
+        self._failed: set = set()
+
+    # ------------------------------------------------------------------
+    def _score(self, task_id: str, worker: str) -> bytes:
+        material = encode((self.beacon_value, task_id, worker))
+        return hash_bytes(material, domain="load-balancer")
+
+    def assign(self, task_id: str) -> str:
+        """Rendezvous assignment: the live worker with the highest score.
+
+        Every peer holding the same beacon value computes the same answer;
+        a failed worker's tasks migrate without moving anyone else's.
+        """
+        candidates = [w for w in self.workers if w not in self._failed]
+        if not candidates:
+            raise ConfigurationError("no live workers remain")
+        return max(candidates, key=lambda w: self._score(task_id, w))
+
+    def mark_failed(self, worker: str) -> None:
+        if worker not in self.workers:
+            raise ConfigurationError(f"unknown worker {worker!r}")
+        self._failed.add(worker)
+
+    def mark_recovered(self, worker: str) -> None:
+        self._failed.discard(worker)
+
+    def assignment_histogram(self, task_count: int) -> Dict[str, int]:
+        """Distribution of ``task_count`` synthetic tasks over workers."""
+        histogram: Dict[str, int] = {w: 0 for w in self.workers}
+        for index in range(task_count):
+            histogram[self.assign(f"task-{index}")] += 1
+        return histogram
+
+
+class PregeneratedRandomness:
+    """A sealed pool of pre-generated random values (Appendix H).
+
+    The pool is produced inside the enclave, sealed to (platform secret,
+    program measurement), and later unsealed to serve values quickly at
+    request time.  Draining past the pool raises rather than recycling —
+    reuse of beacon randomness would reintroduce bias.
+    """
+
+    def __init__(
+        self, platform_secret: bytes, measurement: bytes
+    ) -> None:
+        self._platform_secret = platform_secret
+        self._measurement = measurement
+
+    def generate_and_seal(
+        self, count: int, bits: int, rng: DeterministicRNG
+    ) -> bytes:
+        """Draw ``count`` values of ``bits`` bits and seal them."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        values = tuple(rng.randbits(bits) for _ in range(count))
+        return seal_data(
+            self._platform_secret, self._measurement, encode(values), rng
+        )
+
+    def unseal_pool(self, sealed: bytes) -> "RandomnessPool":
+        """Recover the pool; fails for a wrong platform/program."""
+        raw = unseal_data(self._platform_secret, self._measurement, sealed)
+        values = decode(raw)
+        if not isinstance(values, tuple):
+            raise ConfigurationError("sealed blob does not contain a pool")
+        return RandomnessPool(list(values))
+
+
+class RandomnessPool:
+    """FIFO access to an unsealed pool of random values."""
+
+    def __init__(self, values: List[int]) -> None:
+        self._values = values
+        self._cursor = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._values) - self._cursor
+
+    def draw(self) -> int:
+        if self._cursor >= len(self._values):
+            raise ConfigurationError("randomness pool exhausted")
+        value = self._values[self._cursor]
+        self._cursor += 1
+        return value

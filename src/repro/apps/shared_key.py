@@ -1,0 +1,68 @@
+"""Group shared-key generation (Appendix H, "Shared Key Generation").
+
+ERNG's output is a common unbiased secret-free value; expanding it through
+HKDF with a context label yields group keys, salts or IVs that every
+honest peer derives identically and no byzantine coalition ( < N/2 )
+biased.  Note the value itself travelled encrypted between enclaves (P3),
+so outside observers never saw it — inside the trust model it is a group
+secret, suitable as symmetric key material.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ProtocolError
+from repro.common.serialization import encode
+from repro.common.types import NodeId
+from repro.core.erng import run_erng
+from repro.crypto.kdf import hkdf
+
+
+def derive_group_key(
+    common_value: int, context: str, length: int = 32
+) -> bytes:
+    """Expand an agreed random value into key material for ``context``."""
+    if length < 16:
+        raise ProtocolError("refusing to derive keys shorter than 128 bits")
+    return hkdf(
+        encode(common_value),
+        info=b"group-key|" + context.encode("utf-8"),
+        length=length,
+    )
+
+
+class GroupKeyAgreement:
+    """One-shot group key agreement over a peer population."""
+
+    def __init__(
+        self,
+        n: int,
+        t: int = -1,
+        seed: int = 0,
+        behaviors: Optional[Dict[NodeId, object]] = None,
+    ) -> None:
+        self.n = n
+        self.t = t
+        self.seed = seed
+        self.behaviors = behaviors
+
+    def agree(self, context: str) -> Dict[NodeId, bytes]:
+        """Run ERNG and return every honest node's derived key.
+
+        All returned keys are identical by ERNG agreement; the dict keeps
+        the per-node view so tests can assert exactly that.
+        """
+        config = SimulationConfig(n=self.n, t=self.t, seed=self.seed)
+        result = run_erng(config, behaviors=self.behaviors)
+        byzantine = set(self.behaviors or ())
+        outputs = result.honest_outputs(byzantine)
+        keys: Dict[NodeId, bytes] = {}
+        for node, value in outputs.items():
+            if value is None:
+                raise ProtocolError(f"node {node} failed to agree on a value")
+            keys[node] = derive_group_key(value, context)
+        if len(set(keys.values())) != 1:
+            raise ProtocolError("honest nodes derived mismatched keys")
+        return keys

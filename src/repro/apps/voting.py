@@ -1,0 +1,198 @@
+"""Commit-reveal voting with ERNG tie-breaking (Appendix H, "voting
+schemes").
+
+A minimal but complete decentralized poll among the peer population:
+
+1. **Commit** — each voter submits ``H(ballot || nonce)``; commitments are
+   disseminated with byzantine agreement (interactive consistency), so
+   every honest peer freezes the *same* commitment vector before any
+   ballot is visible — nobody can adapt their vote to others'.
+2. **Reveal** — voters open their commitments; openings that do not match
+   the committed digest are discarded (a byzantine voter can abstain but
+   not equivocate).
+3. **Tally** — votes are counted; ties are broken by a fresh ERNG value,
+   so no coalition can steer the tie-break (the Moran-Naor split-ballot
+   motivation the paper cites).
+
+The class operates on one peer population and drives the underlying
+protocols itself; per-voter state (ballot, nonce) models what each
+voter's enclave would hold.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.rng import DeterministicRNG
+from repro.common.serialization import encode
+from repro.common.types import NodeId
+from repro.core.agreement import run_interactive_consistency
+from repro.core.erng import run_erng
+from repro.crypto.hashing import hash_bytes
+
+
+@dataclass(frozen=True)
+class PollResult:
+    """Outcome of one poll."""
+
+    winner: str
+    tally: Dict[str, int]
+    revealed: int
+    discarded: int
+    tie_broken: bool
+    tie_break_value: Optional[int]
+
+
+def _commitment(ballot: str, nonce: bytes) -> bytes:
+    return hash_bytes(encode((ballot, nonce)), domain="poll-commitment")
+
+
+class CommitRevealPoll:
+    """A decentralized poll over ``n`` peers choosing among ``options``."""
+
+    def __init__(
+        self,
+        n: int,
+        options: Sequence[str],
+        t: int = -1,
+        seed: int = 0,
+        behaviors: Optional[Dict[NodeId, object]] = None,
+    ) -> None:
+        if len(options) < 2:
+            raise ConfigurationError("a poll needs at least two options")
+        if len(set(options)) != len(options):
+            raise ConfigurationError("options must be unique")
+        self.n = n
+        self.t = t
+        self.options = list(options)
+        self.seed = seed
+        self.behaviors = behaviors
+        self._rng = DeterministicRNG(("poll", seed))
+
+    # ------------------------------------------------------------------
+    def run(self, ballots: Dict[NodeId, str]) -> PollResult:
+        """Execute commit, reveal and tally for the given ballots.
+
+        ``ballots`` maps voter id -> chosen option; voters absent from the
+        map abstain.  Returns the common :class:`PollResult` every honest
+        peer computes.
+        """
+        for voter, ballot in ballots.items():
+            if ballot not in self.options:
+                raise ConfigurationError(
+                    f"voter {voter} cast unknown option {ballot!r}"
+                )
+
+        # Phase 1 — commit: interactive consistency over commitments.
+        nonces = {
+            voter: self._rng.fork(("nonce", voter)).randbytes(16)
+            for voter in ballots
+        }
+        commitments = {
+            voter: _commitment(ballots[voter], nonces[voter])
+            for voter in ballots
+        }
+        commit_inputs = {
+            node: commitments.get(node) for node in range(self.n)
+        }
+        commit_round = run_interactive_consistency(
+            SimulationConfig(n=self.n, t=self.t, seed=self._phase_seed(1)),
+            commit_inputs,
+            behaviors=self.behaviors,
+        )
+        committed = self._common_vector(commit_round)
+
+        # Phase 2 — reveal: openings disseminated the same way.
+        reveal_inputs = {
+            node: (
+                (ballots[node], nonces[node]) if node in ballots else None
+            )
+            for node in range(self.n)
+        }
+        reveal_round = run_interactive_consistency(
+            SimulationConfig(n=self.n, t=self.t, seed=self._phase_seed(2)),
+            reveal_inputs,
+            behaviors=self.behaviors,
+        )
+        revealed = self._common_vector(reveal_round)
+
+        # Phase 3 — tally with commitment verification.
+        tally: Counter = Counter()
+        discarded = 0
+        accepted = 0
+        for node in range(self.n):
+            opening = revealed.get(node)
+            commitment = committed.get(node)
+            if opening is None:
+                continue  # abstained or omitted
+            if commitment is None:
+                discarded += 1  # revealed without having committed
+                continue
+            ballot, nonce = opening
+            if _commitment(ballot, nonce) != commitment:
+                discarded += 1  # equivocation attempt
+                continue
+            tally[ballot] += 1
+            accepted += 1
+
+        return self._decide(tally, accepted, discarded)
+
+    # ------------------------------------------------------------------
+    def _decide(
+        self, tally: Counter, accepted: int, discarded: int
+    ) -> PollResult:
+        if not tally:
+            raise ProtocolError("no valid ballots were revealed")
+        best = max(tally.values())
+        leaders = sorted(
+            option for option, count in tally.items() if count == best
+        )
+        tie_broken = len(leaders) > 1
+        tie_value: Optional[int] = None
+        if tie_broken:
+            # Unbiased common tie-break: a fresh ERNG run.
+            result = run_erng(
+                SimulationConfig(
+                    n=self.n, t=self.t, seed=self._phase_seed(3)
+                ),
+                behaviors=self.behaviors,
+            )
+            byzantine = set(self.behaviors or ())
+            values = {
+                v
+                for v in result.honest_outputs(byzantine).values()
+                if v is not None
+            }
+            if len(values) != 1:
+                raise ProtocolError("tie-break randomness did not converge")
+            tie_value = values.pop()
+            winner = leaders[tie_value % len(leaders)]
+        else:
+            winner = leaders[0]
+        return PollResult(
+            winner=winner,
+            tally=dict(tally),
+            revealed=accepted,
+            discarded=discarded,
+            tie_broken=tie_broken,
+            tie_break_value=tie_value,
+        )
+
+    def _phase_seed(self, phase: int) -> int:
+        material = hash_bytes(
+            encode((self.seed, phase)), domain="poll-phase-seed"
+        )
+        return int.from_bytes(material[:8], "big")
+
+    @staticmethod
+    def _common_vector(result) -> Dict[NodeId, object]:
+        vectors = {
+            value for node, value in result.outputs.items()
+        }
+        if len(vectors) != 1:
+            raise ProtocolError("interactive consistency diverged")
+        return dict(vectors.pop())

@@ -1,0 +1,27 @@
+"""Classic reliable-broadcast baselines the paper compares against.
+
+* :mod:`repro.baselines.rb_sig` — Algorithm 4 (Appendix B.1): the
+  Lamport/Dolev-Strong-style protocol using digital-signature chains.
+  Tolerates up to N-1 byzantine nodes but pays O(N³) communication and
+  heavy signature verification — the costs ERB's blinded channels avoid.
+* :mod:`repro.baselines.rb_early` — Algorithm 5 (Appendix B.2): the
+  Perry-Toueg-style early-stopping broadcast for the general-omission
+  model.  Terminates in min{f+2, t+1} rounds, but every node broadcasts
+  its state every round for liveness, costing O(N³) — the passive fault
+  detection that ERB's halt-on-divergence (P4) replaces with an O(N)
+  active mechanism.
+
+Both run on the same simulator as ERB so the Table 1 benchmark can put
+measured rounds, messages and bytes side by side.
+"""
+
+from repro.baselines.rb_early import RbEarlyProgram, run_rb_early
+from repro.baselines.rb_sig import KeyRegistry, RbSigProgram, run_rb_sig
+
+__all__ = [
+    "KeyRegistry",
+    "RbEarlyProgram",
+    "RbSigProgram",
+    "run_rb_early",
+    "run_rb_sig",
+]

@@ -1,0 +1,137 @@
+"""RBearly — early-stopping broadcast with passive fault detection
+(Algorithm 5, adapted from Perry-Toueg [82]).
+
+General-omission-model protocol: every undecided node multicasts its
+current view *every round* as a liveness signal.  A node that hears a real
+value adopts it, relays it once, and decides; a node that hears only
+silence decides ⊥ as soon as the round number exceeds the number of
+distinct peers it has ever caught being quiet (``rnd > |QUIET|`` — more
+silent rounds than there are faulty nodes to explain them).
+
+This passively detects faults at O(N²) messages *per round*, O(N³) per
+run — the cost ERB's halt-on-divergence (P4) replaces with O(N) active
+self-detection, which is the Appendix B.2 comparison the Table 1 bench
+measures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.common.config import SimulationConfig
+from repro.common.types import MessageType, NodeId, ProtocolMessage
+from repro.net.simulator import RunResult, SynchronousNetwork
+from repro.sgx.program import EnclaveProgram
+
+#: The "no value yet" marker broadcast as a liveness signal.
+UNKNOWN = "?"
+
+
+class RbEarlyProgram(EnclaveProgram):
+    """Algorithm 5 at one node."""
+
+    PROGRAM_NAME = "rb-early"
+    PROGRAM_VERSION = "1"
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        initiator: NodeId,
+        n: int,
+        t: int,
+        message: object = None,
+    ) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.initiator = initiator
+        self.n = n
+        self.t = t
+        self.broadcast_message = message
+        self.m_hat: object = UNKNOWN
+        self.quiet: Set[NodeId] = set()
+        self._heard_this_round: Set[NodeId] = set()
+        self._adopted_round: Optional[int] = None
+
+    @property
+    def round_bound(self) -> int:
+        return self.t + 1
+
+    # ------------------------------------------------------------------
+    def on_round_begin(self, ctx) -> None:
+        if self.has_output:
+            return  # decided nodes halt (stop broadcasting)
+        self._heard_this_round = set()
+        if ctx.round == 1 and ctx.node_id == self.initiator:
+            self.m_hat = self.broadcast_message
+            self._broadcast_view(ctx)
+            self._accept(ctx, self.m_hat)
+            return
+        # Liveness broadcast: every round, every undecided node speaks.
+        self._broadcast_view(ctx)
+
+    def on_message(self, ctx, sender: NodeId, message: ProtocolMessage) -> None:
+        if message.type is not MessageType.VALUE or self.has_output:
+            return
+        self._heard_this_round.add(sender)
+        if message.payload != UNKNOWN and self.m_hat == UNKNOWN:
+            self.m_hat = message.payload
+            self._adopted_round = ctx.round
+
+    def on_round_end(self, ctx) -> None:
+        if self.has_output:
+            return
+        # Passive detection: anyone silent this round joins QUIET forever.
+        expected = set(range(self.n)) - {self.node_id}
+        self.quiet |= expected - self._heard_this_round
+        if self.m_hat != UNKNOWN and self._adopted_round is not None:
+            # Value adopted in round r is relayed in r+1 (queued by the
+            # next on_round_begin); decide once the relay has gone out.
+            if ctx.round > self._adopted_round:
+                self._accept(ctx, self.m_hat)
+                return
+        if self.m_hat == UNKNOWN and ctx.round > len(self.quiet):
+            # More silent rounds than faulty nodes could cause: nothing
+            # is coming.  Decide ⊥.
+            self._accept(ctx, None)
+            return
+        if ctx.round >= self.round_bound:
+            self._accept(ctx, self.m_hat if self.m_hat != UNKNOWN else None)
+
+    def on_protocol_end(self, ctx) -> None:
+        if not self.has_output:
+            self._accept(ctx, self.m_hat if self.m_hat != UNKNOWN else None)
+
+    # ------------------------------------------------------------------
+    def _broadcast_view(self, ctx) -> None:
+        ctx.multicast(
+            ProtocolMessage(
+                type=MessageType.VALUE,
+                initiator=self.initiator,
+                seq=0,
+                payload=self.m_hat,
+                rnd=0,
+                instance="rbearly",
+            ),
+            expect_acks=False,
+        )
+
+
+def run_rb_early(
+    config: SimulationConfig,
+    initiator: NodeId,
+    message: object,
+    behaviors: Optional[Dict[NodeId, object]] = None,
+) -> RunResult:
+    """Run the early-stopping omission-model broadcast."""
+
+    def factory(node_id: NodeId) -> RbEarlyProgram:
+        return RbEarlyProgram(
+            node_id=node_id,
+            initiator=initiator,
+            n=config.n,
+            t=config.t,
+            message=message if node_id == initiator else None,
+        )
+
+    network = SynchronousNetwork(config, factory, behaviors=behaviors)
+    return network.run(max_rounds=config.t + 1)

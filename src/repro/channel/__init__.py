@@ -1,0 +1,22 @@
+"""The blinded peer channel of Appendix A (Fig. 4: ``PeerCh_sgx``).
+
+A :class:`~repro.channel.peer_channel.SecureChannel` connects two enclaves:
+
+* **Init** — mutual remote attestation, Diffie-Hellman key exchange, HKDF
+  split into (encryption, MAC) keys;
+* **Write** — serialize the protocol value, encrypt-then-MAC it together
+  with the program measurement and a per-direction counter;
+* **Transfer** — performed by the untrusted OS layer / the network
+  simulator (the channel itself never touches the network);
+* **Read** — verify the MAC, check the program measurement, check counter
+  freshness, and only then hand the plaintext to the receiving enclave.
+
+Any verification failure surfaces as an exception the transport converts
+into an *omission* — which is precisely the byzantine-to-ROD reduction of
+Theorem A.2 made executable.
+"""
+
+from repro.channel.peer_channel import ChannelTable, SecureChannel, WireMessage
+from repro.channel.replay import ReplayGuard
+
+__all__ = ["ChannelTable", "ReplayGuard", "SecureChannel", "WireMessage"]

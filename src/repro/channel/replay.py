@@ -1,0 +1,33 @@
+"""Message-freshness bookkeeping (property P6).
+
+Every channel direction carries a strictly increasing counter, seeded at
+channel establishment from enclave randomness (F2) so a byzantine OS cannot
+predict or reset it.  The guard accepts a counter only if it is strictly
+greater than everything seen so far on that direction — replaying an old
+wire message (attack A5), even one captured from a parallel instance,
+therefore fails closed.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ReplayError
+
+
+class ReplayGuard:
+    """Tracks the highest accepted counter for one channel direction."""
+
+    def __init__(self, initial: int) -> None:
+        # The initial sequence number exchanged during the setup phase.
+        self._highest = initial
+
+    @property
+    def highest(self) -> int:
+        return self._highest
+
+    def check_and_update(self, counter: int) -> None:
+        """Accept ``counter`` if fresh, else raise :class:`ReplayError`."""
+        if counter <= self._highest:
+            raise ReplayError(
+                f"stale counter {counter} (highest accepted {self._highest})"
+            )
+        self._highest = counter

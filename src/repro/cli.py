@@ -1,0 +1,209 @@
+"""Command-line interface: run the paper's protocols from a shell.
+
+Examples::
+
+    python -m repro erb --n 32 --initiator 0 --message hello
+    python -m repro erb --n 32 --chain 6          # Fig. 2c worst case
+    python -m repro erng --n 16
+    python -m repro erng-opt --n 120 --gamma 7
+    python -m repro agreement --n 9 --inputs A,A,B,A,B,A,A,B,A
+    python -m repro beacon --n 9 --epochs 4
+    python -m repro churn --n 17 --byzantine 1,3,5 --p 0.4 --instances 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import (
+    ClusterConfig,
+    SimulationConfig,
+    run_erb,
+    run_erng,
+    run_optimized_erng,
+)
+from repro.adversary import chain_delay_strategy
+from repro.apps.beacon import RandomBeacon
+from repro.core.agreement import run_byzantine_agreement
+from repro.core.churn import ChurnDriver
+
+
+def _print_result(result, label: str) -> None:
+    values = sorted({repr(v) for v in result.outputs.values()})
+    print(f"{label}:")
+    print(f"  accepted value(s): {', '.join(values)}")
+    print(f"  rounds:            {result.rounds_executed}")
+    print(f"  simulated time:    {result.termination_seconds:.2f} s")
+    print(f"  ejected nodes:     {result.halted or 'none'}")
+    print(f"  traffic:           {result.traffic.summary()}")
+
+
+def _cmd_erb(args: argparse.Namespace) -> int:
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    behaviors = None
+    if args.chain:
+        behaviors = chain_delay_strategy(
+            list(range(args.chain)), honest_target=args.chain
+        )
+        if args.initiator >= args.chain:
+            print("note: --chain forces the initiator to node 0", file=sys.stderr)
+        args.initiator = 0
+    result = run_erb(
+        config,
+        initiator=args.initiator,
+        message=args.message.encode("utf-8"),
+        behaviors=behaviors,
+    )
+    _print_result(result, f"ERB broadcast over N={args.n}")
+    return 0
+
+
+def _cmd_erng(args: argparse.Namespace) -> int:
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    result = run_erng(config)
+    _print_result(result, f"unoptimized ERNG over N={args.n}")
+    return 0
+
+
+def _cmd_erng_opt(args: argparse.Namespace) -> int:
+    t = args.t if args.t >= 0 else args.n // 3
+    config = SimulationConfig(n=args.n, t=t, seed=args.seed)
+    cluster = ClusterConfig(
+        mode=args.mode,
+        gamma=args.gamma,
+    )
+    result = run_optimized_erng(config, cluster=cluster)
+    _print_result(result, f"optimized ERNG over N={args.n} ({args.mode})")
+    return 0
+
+
+def _cmd_agreement(args: argparse.Namespace) -> int:
+    inputs_list = args.inputs.split(",")
+    if len(inputs_list) != args.n:
+        print(
+            f"error: expected {args.n} comma-separated inputs, "
+            f"got {len(inputs_list)}",
+            file=sys.stderr,
+        )
+        return 2
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    result = run_byzantine_agreement(
+        config, {i: value for i, value in enumerate(inputs_list)}
+    )
+    _print_result(result, f"byzantine agreement over N={args.n}")
+    return 0
+
+
+def _cmd_beacon(args: argparse.Namespace) -> int:
+    beacon = RandomBeacon(n=args.n, t=args.t, seed=args.seed)
+    for _ in range(args.epochs):
+        record = beacon.next_beacon()
+        print(
+            f"epoch {record.epoch}: {record.value:#034x}  "
+            f"digest {record.digest.hex()[:16]}..."
+        )
+    print(f"chain verifies: {RandomBeacon.verify_chain(beacon.log)}")
+    return 0
+
+
+def _cmd_churn(args: argparse.Namespace) -> int:
+    byzantine = [int(x) for x in args.byzantine.split(",")] if args.byzantine else []
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    driver = ChurnDriver(
+        config, byzantine=byzantine, misbehave_p=args.p, seed=args.seed
+    )
+    report = driver.run(args.instances)
+    print(f"live byzantine per instance: {report.live_byzantine}")
+    print(f"ejection order:              {report.ejected_order}")
+    print(
+        f"agreement held in            {report.agreements_held}/"
+        f"{report.instances} instances"
+    )
+    sanitized = report.sanitized_at
+    print(
+        "network sanitized at instance "
+        + (str(sanitized) if sanitized >= 0 else "(not yet)")
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Robust P2P primitives using (simulated) SGX enclaves — "
+            "ICDCS 2020 reproduction"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, default_n: int = 16) -> None:
+        p.add_argument("--n", type=int, default=default_n, help="network size")
+        p.add_argument(
+            "--t", type=int, default=-1,
+            help="byzantine bound (default: protocol maximum)",
+        )
+        p.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+    p_erb = sub.add_parser("erb", help="run one reliable broadcast")
+    common(p_erb)
+    p_erb.add_argument("--initiator", type=int, default=0)
+    p_erb.add_argument("--message", default="hello")
+    p_erb.add_argument(
+        "--chain", type=int, default=0,
+        help="byzantine delay-chain length (Fig. 2c worst case)",
+    )
+    p_erb.set_defaults(func=_cmd_erb)
+
+    p_erng = sub.add_parser("erng", help="run the unoptimized ERNG")
+    common(p_erng)
+    p_erng.set_defaults(func=_cmd_erng)
+
+    p_opt = sub.add_parser("erng-opt", help="run the optimized ERNG")
+    common(p_opt, default_n=120)
+    p_opt.add_argument(
+        "--mode", choices=["sampled", "fixed_fraction"], default="sampled"
+    )
+    p_opt.add_argument("--gamma", type=int, default=None)
+    p_opt.set_defaults(func=_cmd_erng_opt)
+
+    p_ba = sub.add_parser("agreement", help="byzantine agreement over inputs")
+    common(p_ba, default_n=9)
+    p_ba.add_argument(
+        "--inputs", required=True,
+        help="comma-separated input values, one per node",
+    )
+    p_ba.set_defaults(func=_cmd_agreement)
+
+    p_beacon = sub.add_parser("beacon", help="run a chained random beacon")
+    common(p_beacon, default_n=9)
+    p_beacon.add_argument("--epochs", type=int, default=3)
+    p_beacon.set_defaults(func=_cmd_beacon)
+
+    p_churn = sub.add_parser(
+        "churn", help="repeated instances sanitize the network (Appendix D)"
+    )
+    common(p_churn, default_n=17)
+    p_churn.add_argument(
+        "--byzantine", default="", help="comma-separated byzantine node ids"
+    )
+    p_churn.add_argument(
+        "--p", type=float, default=0.3,
+        help="per-instance misbehaviour probability",
+    )
+    p_churn.add_argument("--instances", type=int, default=20)
+    p_churn.set_defaults(func=_cmd_churn)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

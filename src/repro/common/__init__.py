@@ -1,0 +1,50 @@
+"""Shared building blocks: identifiers, message types, config, serialization.
+
+Everything in :mod:`repro.common` is protocol-agnostic.  The conventions
+established here (deterministic serialization, seeded randomness, explicit
+round numbers) are what make simulation runs exactly reproducible, which in
+turn is what lets the test-suite make sharp assertions about round counts
+and message counts.
+"""
+
+from repro.common.config import (
+    AdversaryModel,
+    ChannelSecurity,
+    SimulationConfig,
+)
+from repro.common.errors import (
+    ConfigurationError,
+    IntegrityError,
+    ProtocolError,
+    ReplayError,
+    ReproError,
+    SerializationError,
+)
+from repro.common.rng import DeterministicRNG
+from repro.common.serialization import decode, encode, encoded_size
+from repro.common.types import (
+    MessageType,
+    NodeId,
+    ProtocolMessage,
+    Round,
+)
+
+__all__ = [
+    "AdversaryModel",
+    "ChannelSecurity",
+    "ConfigurationError",
+    "DeterministicRNG",
+    "IntegrityError",
+    "MessageType",
+    "NodeId",
+    "ProtocolError",
+    "ProtocolMessage",
+    "ReplayError",
+    "ReproError",
+    "Round",
+    "SerializationError",
+    "SimulationConfig",
+    "decode",
+    "encode",
+    "encoded_size",
+]

@@ -1,0 +1,162 @@
+"""Deterministic, self-describing binary serialization.
+
+The blinded channel of the paper (Fig. 4) encrypts and MACs the serialized
+protocol value, so the library needs an encoding that is
+
+* **deterministic** — two equal values always produce identical bytes (the
+  MAC and the traffic statistics both depend on this), and
+* **self-describing** — the receiver can decode without out-of-band schema.
+
+The format is a small tagged length-prefixed encoding covering exactly the
+types protocol values are built from: ``None``, ``bool``, ``int``, ``bytes``,
+``str``, ``tuple``/``list`` (both decode as ``tuple``), and ``dict`` with
+sorted keys.  It is intentionally *not* pickle: decoding attacker-supplied
+bytes must never execute code.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.common.errors import SerializationError
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_BYTES = b"b"
+_TAG_STR = b"s"
+_TAG_TUPLE = b"t"
+_TAG_DICT = b"d"
+
+_LEN_BYTES = 4
+_MAX_LEN = 2 ** (8 * _LEN_BYTES) - 1
+
+
+def _encode_length(n: int) -> bytes:
+    if n > _MAX_LEN:
+        raise SerializationError(f"value too large to encode: {n} bytes")
+    return n.to_bytes(_LEN_BYTES, "big")
+
+
+def encode(value: object) -> bytes:
+    """Encode ``value`` into deterministic bytes.
+
+    Raises :class:`SerializationError` for unsupported types.
+    """
+    if value is None:
+        return _TAG_NONE
+    if value is True:
+        return _TAG_TRUE
+    if value is False:
+        return _TAG_FALSE
+    if isinstance(value, int):
+        # Two's-complement-free signed encoding: sign byte + magnitude.
+        sign = b"-" if value < 0 else b"+"
+        magnitude = abs(value)
+        body = magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        return _TAG_INT + _encode_length(len(body) + 1) + sign + body
+    if isinstance(value, bytes):
+        return _TAG_BYTES + _encode_length(len(value)) + value
+    if isinstance(value, str):
+        body = value.encode("utf-8")
+        return _TAG_STR + _encode_length(len(body)) + body
+    if isinstance(value, (tuple, list)):
+        parts = [encode(item) for item in value]
+        body = b"".join(parts)
+        return _TAG_TUPLE + _encode_length(len(value)) + body
+    if isinstance(value, dict):
+        try:
+            items = sorted(value.items())
+        except TypeError as exc:
+            raise SerializationError(f"dict keys must be sortable: {exc}") from exc
+        parts = []
+        for key, item in items:
+            parts.append(encode(key))
+            parts.append(encode(item))
+        body = b"".join(parts)
+        return _TAG_DICT + _encode_length(len(value)) + body
+    if isinstance(value, frozenset):
+        raise SerializationError("encode frozensets as sorted tuples instead")
+    raise SerializationError(f"unsupported type for encoding: {type(value).__name__}")
+
+
+def encoded_size(value: object) -> int:
+    """Length in bytes of ``encode(value)`` (used for traffic accounting)."""
+    return len(encode(value))
+
+
+def decode(data: bytes) -> object:
+    """Decode bytes produced by :func:`encode`.
+
+    Raises :class:`SerializationError` on malformed or trailing input.
+    """
+    value, offset = _decode_at(data, 0)
+    if offset != len(data):
+        raise SerializationError(
+            f"trailing garbage after decoded value ({len(data) - offset} bytes)"
+        )
+    return value
+
+
+def _read_length(data: bytes, offset: int) -> Tuple[int, int]:
+    end = offset + _LEN_BYTES
+    if end > len(data):
+        raise SerializationError("truncated length field")
+    return int.from_bytes(data[offset:end], "big"), end
+
+
+def _decode_at(data: bytes, offset: int) -> Tuple[object, int]:
+    if offset >= len(data):
+        raise SerializationError("unexpected end of input")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        if end > len(data) or length < 2:
+            raise SerializationError("truncated int body")
+        sign = data[offset : offset + 1]
+        magnitude = int.from_bytes(data[offset + 1 : end], "big")
+        if sign == b"-":
+            return -magnitude, end
+        if sign == b"+":
+            return magnitude, end
+        raise SerializationError(f"bad int sign byte: {sign!r}")
+    if tag == _TAG_BYTES:
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise SerializationError("truncated bytes body")
+        return data[offset:end], end
+    if tag == _TAG_STR:
+        length, offset = _read_length(data, offset)
+        end = offset + length
+        if end > len(data):
+            raise SerializationError("truncated str body")
+        try:
+            return data[offset:end].decode("utf-8"), end
+        except UnicodeDecodeError as exc:
+            raise SerializationError(f"invalid utf-8 in str body: {exc}") from exc
+    if tag == _TAG_TUPLE:
+        count, offset = _read_length(data, offset)
+        items = []
+        for _ in range(count):
+            item, offset = _decode_at(data, offset)
+            items.append(item)
+        return tuple(items), offset
+    if tag == _TAG_DICT:
+        count, offset = _read_length(data, offset)
+        result = {}
+        for _ in range(count):
+            key, offset = _decode_at(data, offset)
+            item, offset = _decode_at(data, offset)
+            result[key] = item
+        return result, offset
+    raise SerializationError(f"unknown tag byte: {tag!r}")

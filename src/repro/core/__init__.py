@@ -1,0 +1,60 @@
+"""The paper's primary contribution: ERB and ERNG.
+
+* :mod:`repro.core.erb` — Enclaved Reliable Broadcast (Algorithm 2),
+  as a reusable per-instance core plus a standalone program;
+* :mod:`repro.core.erng` — unoptimized ERNG (Algorithm 3): N concurrent
+  ERB instances, XOR of the agreed set;
+* :mod:`repro.core.erng_optimized` — optimized ERNG (Algorithm 6):
+  representative-cluster sampling, ERB inside the cluster, FINAL sets;
+* :mod:`repro.core.strawman` — the attackable strawman (Algorithm 1),
+  kept for the Section 2.3 attack demonstrations;
+* :mod:`repro.core.properties` — the P1-P6 property checklist mapped to
+  the mechanisms that enforce each;
+* :mod:`repro.core.sanitization` — the Appendix D churn model.
+
+High-level convenience runners (`run_erb`, `run_erng`, ...) build the
+network, execute the protocol, and return a :class:`RunResult`.
+"""
+
+from repro.core.agreement import (
+    InteractiveConsistencyProgram,
+    majority_rule,
+    median_rule,
+    run_byzantine_agreement,
+    run_interactive_consistency,
+)
+from repro.core.churn import ChurnDriver, ChurnReport, IntermittentOmission
+from repro.core.erb import ErbCore, ErbProgram, run_erb
+from repro.core.flooding import FloodErbProgram, run_flood_erb
+from repro.core.erng import ErngProgram, run_erng
+from repro.core.erng_optimized import ClusterConfig, OptimizedErngProgram, run_optimized_erng
+from repro.core.properties import PROPERTIES, Property
+from repro.core.sanitization import SanitizationModel, SanitizationOutcome
+from repro.core.strawman import StrawmanBroadcastProgram, StrawmanRngProgram
+
+__all__ = [
+    "ChurnDriver",
+    "ChurnReport",
+    "ClusterConfig",
+    "ErbCore",
+    "FloodErbProgram",
+    "InteractiveConsistencyProgram",
+    "IntermittentOmission",
+    "majority_rule",
+    "median_rule",
+    "run_byzantine_agreement",
+    "run_flood_erb",
+    "run_interactive_consistency",
+    "ErbProgram",
+    "ErngProgram",
+    "OptimizedErngProgram",
+    "PROPERTIES",
+    "Property",
+    "SanitizationModel",
+    "SanitizationOutcome",
+    "StrawmanBroadcastProgram",
+    "StrawmanRngProgram",
+    "run_erb",
+    "run_erng",
+    "run_optimized_erng",
+]

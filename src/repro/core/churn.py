@@ -1,0 +1,161 @@
+"""End-to-end network sanitization: repeated ERB instances on one
+persistent network (the process Appendix D models analytically).
+
+A :class:`ChurnDriver` keeps a single :class:`SynchronousNetwork` alive
+across many ERB instances.  Each byzantine node independently decides per
+instance (probability ``p``) whether to misbehave — when it does, it
+omits its multicasts to a majority of the network, fails to collect ``t``
+ACKs, and its enclave halts (P4).  Because channels and enclave state
+persist across instances, a halted node stays out forever, and the count
+of *live* byzantine nodes follows exactly the contraction process of
+Theorem D.1 (with no replacement: ``q = 0``).
+
+The driver reports the live-byzantine trajectory plus per-instance round
+counts, so the Appendix D bench can put a *measured* protocol-level
+trajectory next to the closed form — not just a Monte-Carlo of the
+abstract process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence
+
+from repro.adversary.behaviors import OSBehavior, Transmission
+from repro.channel.peer_channel import WireMessage
+from repro.common.config import SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import MessageType, NodeId
+from repro.core.erb import ErbProgram
+from repro.net.simulator import SynchronousNetwork
+
+
+class IntermittentOmission(OSBehavior):
+    """A byzantine OS that misbehaves only in flagged instances.
+
+    While active it drops every outgoing protocol message to the victims
+    (a majority of peers) — the identity-based selective omission P4
+    punishes.  ACKs still flow so the node is not ejected for a round in
+    which it behaved.
+    """
+
+    def __init__(self, victims: Iterable[NodeId]) -> None:
+        self._victims = frozenset(victims)
+        self.active = False
+
+    def filter_send(self, wire: WireMessage, rnd: int) -> Iterable[Transmission]:
+        if (
+            self.active
+            and wire.mtype is not MessageType.ACK
+            and wire.receiver in self._victims
+        ):
+            return ()
+        return ((0, wire),)
+
+
+@dataclass
+class ChurnReport:
+    """Measured trajectory of one churn run."""
+
+    live_byzantine: List[int] = field(default_factory=list)  # per instance
+    rounds_per_instance: List[int] = field(default_factory=list)
+    ejected_order: List[NodeId] = field(default_factory=list)
+    agreements_held: int = 0
+    instances: int = 0
+
+    @property
+    def sanitized_at(self) -> int:
+        """First instance index after which no byzantine node is live."""
+        for index, count in enumerate(self.live_byzantine):
+            if count == 0:
+                return index
+        return -1
+
+
+class ChurnDriver:
+    """Run ``r`` successive ERB instances over one persistent network."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        byzantine: Sequence[NodeId],
+        misbehave_p: float,
+        seed: int = 0,
+    ) -> None:
+        config.require_erb_bound()
+        if not 0.0 <= misbehave_p <= 1.0:
+            raise ConfigurationError("misbehave_p must be a probability")
+        byz_set = set(byzantine)
+        if len(byz_set) > config.t:
+            raise ConfigurationError(
+                f"{len(byz_set)} byzantine nodes exceed the bound t={config.t}"
+            )
+        self.config = config
+        self.byzantine = sorted(byz_set)
+        self.misbehave_p = misbehave_p
+        self._rng = DeterministicRNG(("churn-driver", seed))
+        # Misbehaving = omitting to a strict majority of the network.
+        majority = config.n // 2 + 1
+        self._behaviors: Dict[NodeId, IntermittentOmission] = {}
+        for node in self.byzantine:
+            victims = [peer for peer in range(config.n) if peer != node][:majority]
+            self._behaviors[node] = IntermittentOmission(victims)
+        self._honest = [
+            node for node in range(config.n) if node not in byz_set
+        ]
+        self._network: SynchronousNetwork = SynchronousNetwork(
+            config, self._factory_for(instance=0), dict(self._behaviors)
+        )
+        self._instance = 0
+
+    def _factory_for(self, instance: int):
+        config = self.config
+        initiator = self._honest[instance % len(self._honest)]
+
+        def factory(node_id: NodeId) -> ErbProgram:
+            return ErbProgram(
+                node_id=node_id,
+                initiator=initiator,
+                n=config.n,
+                t=config.t,
+                seq=instance + 1,
+                message=(
+                    f"instance-{instance}" if node_id == initiator else None
+                ),
+                instance=f"churn-{instance}",
+            )
+
+        return factory
+
+    def run(self, instances: int) -> ChurnReport:
+        """Execute ``instances`` successive broadcasts; returns the report."""
+        report = ChurnReport(instances=instances)
+        network = self._network
+        for _ in range(instances):
+            if self._instance > 0:
+                network.replace_programs(self._factory_for(self._instance))
+            # Per-instance coin flips (the Appendix D process).
+            for node, behavior in self._behaviors.items():
+                behavior.active = (
+                    network.nodes[node].alive
+                    and self._rng.bernoulli(self.misbehave_p)
+                )
+            result = network.run(max_rounds=self.config.t + 2)
+            report.rounds_per_instance.append(result.rounds_executed)
+            for node in result.halted:
+                if node not in report.ejected_order:
+                    report.ejected_order.append(node)
+            live = sum(
+                1 for node in self.byzantine if network.nodes[node].alive
+            )
+            report.live_byzantine.append(live)
+            honest_values = {
+                value
+                for node, value in result.outputs.items()
+                if node in self._honest and network.nodes[node].alive
+            }
+            if len(honest_values) == 1:
+                report.agreements_held += 1
+            self._instance += 1
+        return report

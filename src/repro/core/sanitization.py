@@ -1,0 +1,143 @@
+"""Network sanitization — the Appendix D churn analysis, executable.
+
+Setting: the protocol runs repeatedly.  Before instance ``i+1`` the
+network holds ``F_i`` byzantine nodes; during an instance each byzantine
+node independently misbehaves with probability ``p`` (and is then churned
+out by halt-on-divergence); every eliminated node is replaced by a new
+peer which is byzantine with probability ``1/2``.  Appendix D derives:
+
+* ``E[F_{i+1}] = (1 - p/2) · E[F_i]``                       (Wald)
+* ``Pr[F_r >= 1] <= t · (1 - p/2)^r <= e^{-λ}`` with
+  ``λ = rp/2 - ln t``                                        (Thm. D.1)
+* the average round complexity converges to a constant:
+  ``E[R] - 2 ≈ (3 t² / 2r) · (1 - e^{-pr/2})``               (Thm. D.2)
+
+:class:`SanitizationModel` provides the closed forms plus a Monte-Carlo
+simulator of the same process, so the Appendix D bench can put measured
+trajectories next to the analytic bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+
+
+@dataclass
+class SanitizationOutcome:
+    """One Monte-Carlo trajectory of the churn process."""
+
+    faulty_by_instance: List[int] = field(default_factory=list)
+    eliminated_total: int = 0
+    joined_byzantine_total: int = 0
+
+    @property
+    def instances(self) -> int:
+        return len(self.faulty_by_instance)
+
+    @property
+    def sanitized_at(self) -> int:
+        """First instance index with zero byzantine nodes (-1 if never)."""
+        for index, count in enumerate(self.faulty_by_instance):
+            if count == 0:
+                return index
+        return -1
+
+
+class SanitizationModel:
+    """Closed-form predictions and Monte-Carlo simulation of Appendix D."""
+
+    def __init__(
+        self, t: int, p: float, replacement_byzantine_p: float = 0.5
+    ) -> None:
+        if t < 0:
+            raise ConfigurationError("t must be non-negative")
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError("p must be a probability")
+        if not 0.0 <= replacement_byzantine_p <= 1.0:
+            raise ConfigurationError("replacement_byzantine_p must be a probability")
+        self.t = t
+        self.p = p
+        self.replacement_byzantine_p = replacement_byzantine_p
+
+    # ---- closed forms ----------------------------------------------------
+    @property
+    def decay_per_instance(self) -> float:
+        """The per-instance contraction ``1 - p + p·q`` (= 1 - p/2 at q=1/2)."""
+        return 1.0 - self.p * (1.0 - self.replacement_byzantine_p)
+
+    def expected_faulty_after(self, r: int) -> float:
+        """``E[F_r] = decay^r · t``."""
+        if r < 0:
+            raise ConfigurationError("r must be non-negative")
+        return (self.decay_per_instance ** r) * self.t
+
+    def prob_any_faulty_bound(self, r: int) -> float:
+        """Markov bound ``Pr[F_r >= 1] <= t · decay^r`` (Theorem D.1)."""
+        return min(1.0, self.expected_faulty_after(r))
+
+    def instances_for_confidence(self, lam: float) -> int:
+        """Smallest ``r`` with ``Pr[F_r >= 1] <= e^{-λ}``.
+
+        From ``λ = r·p_eff - ln t`` where
+        ``p_eff = -ln(decay) ≈ p/2`` for small p.
+        """
+        if self.t == 0:
+            return 0
+        if self.decay_per_instance >= 1.0:
+            raise ConfigurationError(
+                "process does not contract: p = 0 or replacements fully byzantine"
+            )
+        p_eff = -math.log(self.decay_per_instance)
+        return max(0, math.ceil((lam + math.log(self.t)) / p_eff))
+
+    def expected_average_rounds(self, r: int, base_rounds: int = 2) -> float:
+        """Theorem D.2's average-round estimate over ``r`` instances.
+
+        ``E[R] ≈ base + (3 t² / 2r) · (1 - decay^{r+1})`` — converging to
+        the constant ``base`` as ``r`` grows polynomially.
+        """
+        if r <= 0:
+            raise ConfigurationError("r must be positive")
+        expected_events = 1.5 * self.t * (1.0 - self.decay_per_instance ** (r + 1))
+        # Each misbehaviour event stretches one instance from `base_rounds`
+        # to at most t rounds; amortized over r instances:
+        return base_rounds + (expected_events * self.t) / r
+
+    # ---- Monte Carlo -------------------------------------------------------
+    def simulate(self, instances: int, rng: DeterministicRNG) -> SanitizationOutcome:
+        """Sample one trajectory ``F_0 = t, F_1, ..., F_instances``."""
+        outcome = SanitizationOutcome()
+        faulty = self.t
+        outcome.faulty_by_instance.append(faulty)
+        for _ in range(instances):
+            misbehaved = sum(
+                1 for _ in range(faulty) if rng.bernoulli(self.p)
+            )
+            replaced_byzantine = sum(
+                1
+                for _ in range(misbehaved)
+                if rng.bernoulli(self.replacement_byzantine_p)
+            )
+            outcome.eliminated_total += misbehaved
+            outcome.joined_byzantine_total += replaced_byzantine
+            faulty = faulty - misbehaved + replaced_byzantine
+            outcome.faulty_by_instance.append(faulty)
+        return outcome
+
+    def monte_carlo_mean(
+        self, instances: int, trials: int, rng: DeterministicRNG
+    ) -> List[float]:
+        """Mean trajectory over ``trials`` simulations (index = instance)."""
+        if trials < 1:
+            raise ConfigurationError("trials must be >= 1")
+        sums = [0.0] * (instances + 1)
+        for trial in range(trials):
+            outcome = self.simulate(instances, rng.fork(("trial", trial)))
+            for index, value in enumerate(outcome.faulty_by_instance):
+                sums[index] += value
+        return [value / trials for value in sums]

@@ -1,0 +1,209 @@
+"""The strawman protocols of Section 2.3 (Algorithm 1) — deliberately weak.
+
+These run over :class:`PlainTransport` (``ChannelSecurity.NONE``): no
+integrity, no freshness, no round discipline, no ACKs.  They exist so the
+attack demonstrations (A1-A5) have something to break; the test-suite
+shows each attack succeeding here and failing against ERB/ERNG.
+
+:class:`StrawmanBroadcastProgram` is Algorithm 1's broadcast skeleton: an
+equivocating initiator (``EquivocationForger``) splits honest nodes into
+groups accepting different values — violating agreement.
+
+:class:`StrawmanRngProgram` is the naive distributed XOR beacon: everyone
+broadcasts a random value, everyone XORs what arrived.  The
+``LookaheadBiasAdversary`` withholds its own contribution until it has
+seen everyone else's, then releases it only when that flips the output
+into a favourable set — achieving the classic 3/4-vs-1/2 bias of attack
+A4.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import MessageType, NodeId, ProtocolMessage
+from repro.core.erng import xor_fold
+from repro.net.simulator import RunResult, SynchronousNetwork
+from repro.sgx.program import EnclaveProgram
+
+
+class StrawmanBroadcastProgram(EnclaveProgram):
+    """Algorithm 1 without any SGX protections."""
+
+    PROGRAM_NAME = "strawman-broadcast"
+    PROGRAM_VERSION = "1"
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        initiator: NodeId,
+        n: int,
+        t: int,
+        message: object = None,
+    ) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.initiator = initiator
+        self.n = n
+        self.t = t
+        self.broadcast_message = message
+        self.m_hat: Optional[object] = None
+        self.s_m: set = set()
+
+    @property
+    def round_bound(self) -> int:
+        return self.t + 1
+
+    @property
+    def accept_quorum(self) -> int:
+        return self.n - self.t
+
+    def on_round_begin(self, ctx) -> None:
+        if ctx.round == 1 and ctx.node_id == self.initiator:
+            self.m_hat = self.broadcast_message
+            self.s_m.add(self.node_id)
+            ctx.multicast(
+                ProtocolMessage(
+                    type=MessageType.INIT,
+                    initiator=self.initiator,
+                    seq=0,
+                    payload=self.broadcast_message,
+                    rnd=ctx.round,
+                    instance="strawman",
+                ),
+                expect_acks=False,
+            )
+
+    def on_message(self, ctx, sender: NodeId, message: ProtocolMessage) -> None:
+        if message.type is MessageType.INIT:
+            if self.m_hat is None:
+                self.m_hat = message.payload
+                self.s_m.add(self.node_id)
+                self.s_m.add(sender)
+                self._stage_echo(ctx)
+            return
+        if message.type is MessageType.ECHO:
+            if self.m_hat is None:
+                self.m_hat = message.payload
+                self.s_m.add(self.node_id)
+                self._stage_echo(ctx)
+            if message.payload == self.m_hat and sender not in self.s_m:
+                self.s_m.add(sender)
+                if len(self.s_m) >= self.accept_quorum and not self.has_output:
+                    self._accept(ctx, self.m_hat)
+
+    def on_round_end(self, ctx) -> None:
+        if ctx.round >= self.round_bound and not self.has_output:
+            self._accept(ctx, None)
+
+    def on_protocol_end(self, ctx) -> None:
+        if not self.has_output:
+            self._accept(ctx, None)
+
+    def _stage_echo(self, ctx) -> None:
+        ctx.multicast(
+            ProtocolMessage(
+                type=MessageType.ECHO,
+                initiator=self.initiator,
+                seq=0,
+                payload=self.m_hat,
+                rnd=0,
+                instance="strawman",
+            ),
+            expect_acks=False,
+        )
+
+
+class StrawmanRngProgram(EnclaveProgram):
+    """Naive XOR beacon: broadcast your number, XOR what you received."""
+
+    PROGRAM_NAME = "strawman-rng"
+    PROGRAM_VERSION = "1"
+
+    #: Fixed two-round schedule: contribute in round 1, tally after round 2.
+    ROUND_BOUND = 2
+
+    def __init__(self, node_id: NodeId, n: int, random_bits: int = 32) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.n = n
+        self.random_bits = random_bits
+        self.contribution: Optional[int] = None
+        self.received: Dict[NodeId, int] = {}
+
+    def on_round_begin(self, ctx) -> None:
+        if ctx.round == 1:
+            self.contribution = ctx.rdrand.random_bits(self.random_bits)
+            self.received[self.node_id] = self.contribution
+            ctx.multicast(
+                ProtocolMessage(
+                    type=MessageType.INIT,
+                    initiator=self.node_id,
+                    seq=0,
+                    payload=self.contribution,
+                    rnd=ctx.round,
+                    instance=f"srng-{self.node_id}",
+                ),
+                expect_acks=False,
+            )
+
+    def on_message(self, ctx, sender: NodeId, message: ProtocolMessage) -> None:
+        if message.type is MessageType.INIT and isinstance(message.payload, int):
+            # No freshness, no round check: last write wins.
+            self.received[message.initiator] = message.payload
+
+    def on_round_end(self, ctx) -> None:
+        if ctx.round >= self.ROUND_BOUND and not self.has_output:
+            self._accept(ctx, xor_fold(self.received.values()))
+
+    def on_protocol_end(self, ctx) -> None:
+        if not self.has_output:
+            self._accept(ctx, xor_fold(self.received.values()))
+
+
+def run_strawman_broadcast(
+    config: SimulationConfig,
+    initiator: NodeId,
+    message: object,
+    behaviors: Optional[Dict[NodeId, object]] = None,
+) -> RunResult:
+    """Run Algorithm 1 over insecure channels (attack playground)."""
+    _require_plain(config)
+
+    def factory(node_id: NodeId) -> StrawmanBroadcastProgram:
+        return StrawmanBroadcastProgram(
+            node_id=node_id,
+            initiator=initiator,
+            n=config.n,
+            t=config.t,
+            message=message if node_id == initiator else None,
+        )
+
+    network = SynchronousNetwork(config, factory, behaviors=behaviors)
+    return network.run(max_rounds=config.t + 1)
+
+
+def run_strawman_rng(
+    config: SimulationConfig,
+    behaviors: Optional[Dict[NodeId, object]] = None,
+) -> RunResult:
+    """Run the naive XOR beacon over insecure channels."""
+    _require_plain(config)
+
+    def factory(node_id: NodeId) -> StrawmanRngProgram:
+        return StrawmanRngProgram(
+            node_id=node_id, n=config.n, random_bits=config.random_bits
+        )
+
+    network = SynchronousNetwork(config, factory, behaviors=behaviors)
+    return network.run(max_rounds=StrawmanRngProgram.ROUND_BOUND)
+
+
+def _require_plain(config: SimulationConfig) -> None:
+    if config.channel_security is not ChannelSecurity.NONE:
+        raise ConfigurationError(
+            "the strawman protocols model the *absence* of SGX protections; "
+            "run them with ChannelSecurity.NONE"
+        )

@@ -1,0 +1,55 @@
+"""CPA-secure symmetric encryption, ``SKE = (Gen, Enc, Dec)``.
+
+SHA-256 in counter mode: the keystream block ``i`` for nonce ``v`` is
+``SHA256(key || v || i)``, XORed against the plaintext.  A fresh random
+nonce per encryption gives CPA security under the standard PRF modeling of
+the compression function.  Integrity is *not* provided here — the channel
+composes this cipher with the MAC in encrypt-then-MAC order
+(:mod:`repro.crypto.aead`), exactly as in Fig. 4 of the paper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.common.errors import CryptoError
+from repro.common.rng import DeterministicRNG
+
+KEY_SIZE = 32
+NONCE_SIZE = 16
+_BLOCK = 32
+
+
+def ske_gen(rng: DeterministicRNG) -> bytes:
+    """Sample a fresh encryption key."""
+    return rng.randbytes(KEY_SIZE)
+
+
+def _keystream(key: bytes, nonce: bytes, length: int) -> bytes:
+    blocks = []
+    for i in range((length + _BLOCK - 1) // _BLOCK):
+        blocks.append(
+            hashlib.sha256(key + nonce + i.to_bytes(8, "big")).digest()
+        )
+    return b"".join(blocks)[:length]
+
+
+def ske_encrypt(key: bytes, plaintext: bytes, rng: DeterministicRNG) -> bytes:
+    """Encrypt ``plaintext``; the random nonce is prepended to the body."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"SKE key must be {KEY_SIZE} bytes, got {len(key)}")
+    nonce = rng.randbytes(NONCE_SIZE)
+    stream = _keystream(key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    return nonce + body
+
+
+def ske_decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """Decrypt a ciphertext produced by :func:`ske_encrypt`."""
+    if len(key) != KEY_SIZE:
+        raise CryptoError(f"SKE key must be {KEY_SIZE} bytes, got {len(key)}")
+    if len(ciphertext) < NONCE_SIZE:
+        raise CryptoError("ciphertext shorter than nonce")
+    nonce, body = ciphertext[:NONCE_SIZE], ciphertext[NONCE_SIZE:]
+    stream = _keystream(key, nonce, len(body))
+    return bytes(c ^ s for c, s in zip(body, stream))

@@ -1,0 +1,173 @@
+"""Dynamic membership — the Appendix G relaxation of assumption S1.
+
+The paper fixes the network size N but sketches the extension: "whenever
+a node wants to join P, the joining node contacts another neighbor node
+and communicates both its sequence number and identifier.  The contacted
+node will use ERB to reliably broadcast the pair to all peers."
+
+:class:`MembershipService` implements that life cycle over the simulator:
+every join (and, symmetrically, leave) is announced through a real ERB
+instance among the *current* members, so all honest members transition
+between identical directory versions; the joiner is then handed the full
+directory by its sponsor.  Because announcements ride on ERB, a byzantine
+sponsor cannot show different member lists to different peers — it can
+only fail to announce, which keeps the old directory consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.common.types import NodeId
+from repro.core.erb import run_erb
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One committed directory change."""
+
+    kind: str                 # "join" | "leave"
+    member: NodeId
+    sponsor: NodeId
+    version: int              # directory version after the event
+
+
+@dataclass
+class MembershipDirectory:
+    """A versioned view of the member set (every honest peer holds an
+    identical copy after each committed event)."""
+
+    members: Set[NodeId] = field(default_factory=set)
+    version: int = 0
+    history: List[MembershipEvent] = field(default_factory=list)
+
+    def apply(self, event: MembershipEvent) -> None:
+        if event.version != self.version + 1:
+            raise ProtocolError(
+                f"event version {event.version} does not extend directory "
+                f"version {self.version}"
+            )
+        if event.kind == "join":
+            if event.member in self.members:
+                raise ProtocolError(f"{event.member} is already a member")
+            self.members.add(event.member)
+        elif event.kind == "leave":
+            if event.member not in self.members:
+                raise ProtocolError(f"{event.member} is not a member")
+            self.members.discard(event.member)
+        else:
+            raise ProtocolError(f"unknown membership event kind {event.kind!r}")
+        self.version = event.version
+        self.history.append(event)
+
+    def snapshot(self) -> Tuple[int, Tuple[NodeId, ...]]:
+        return (self.version, tuple(sorted(self.members)))
+
+
+class MembershipService:
+    """Drives join/leave announcements through ERB broadcasts.
+
+    The service owns one directory per member (what each peer would hold)
+    so tests can assert that every honest view stays identical — the
+    point of running announcements through reliable broadcast.
+    """
+
+    def __init__(self, initial_members: int, seed: int = 0) -> None:
+        if initial_members < 1:
+            raise ConfigurationError("need at least one initial member")
+        self._seed = seed
+        self._events = 0
+        self.views: Dict[NodeId, MembershipDirectory] = {}
+        genesis = set(range(initial_members))
+        for member in genesis:
+            directory = MembershipDirectory(members=set(genesis))
+            self.views[member] = directory
+        self._next_id = initial_members
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> Tuple[NodeId, ...]:
+        any_view = next(iter(self.views.values()))
+        return tuple(sorted(any_view.members))
+
+    def _broadcast_event(self, sponsor: NodeId, payload: tuple) -> object:
+        """Run one ERB instance among current members; returns the value
+        every honest member accepted (or None)."""
+        members = self.members
+        if sponsor not in members:
+            raise ConfigurationError(f"sponsor {sponsor} is not a member")
+        index = {node: position for position, node in enumerate(members)}
+        config = SimulationConfig(
+            n=len(members), seed=(self._seed, self._events)
+            .__hash__() & 0x7FFFFFFF,
+        )
+        result = run_erb(
+            config,
+            initiator=index[sponsor],
+            message=payload,
+            seq=self._events + 1,
+        )
+        values = set(result.outputs.values())
+        if len(values) != 1:
+            raise ProtocolError(f"membership broadcast diverged: {values}")
+        self._events += 1
+        return values.pop()
+
+    # ------------------------------------------------------------------
+    def join(self, sponsor: NodeId) -> NodeId:
+        """A new peer contacts ``sponsor``; the join is ERB-announced.
+
+        Returns the new member's id.  Every existing member's directory
+        advances to the same next version; the joiner receives a full
+        copy from the sponsor.
+        """
+        new_id = self._next_id
+        accepted = self._broadcast_event(sponsor, ("JOIN", new_id, sponsor))
+        if accepted is None:
+            raise ProtocolError("join announcement was not delivered")
+        version = next(iter(self.views.values())).version + 1
+        event = MembershipEvent(
+            kind="join", member=new_id, sponsor=sponsor, version=version
+        )
+        for directory in self.views.values():
+            directory.apply(event)
+        # The sponsor transfers its directory to the newcomer (O(N)).
+        sponsor_view = self.views[sponsor]
+        joiner = MembershipDirectory(
+            members=set(sponsor_view.members),
+            version=sponsor_view.version,
+            history=list(sponsor_view.history),
+        )
+        self.views[new_id] = joiner
+        self._next_id += 1
+        return new_id
+
+    def leave(self, member: NodeId, sponsor: Optional[NodeId] = None) -> None:
+        """Announce a departure (voluntary, or observed by the sponsor —
+        e.g. after halt-on-divergence ejected the node)."""
+        members = self.members
+        if member not in members:
+            raise ConfigurationError(f"{member} is not a member")
+        announcer = sponsor if sponsor is not None else next(
+            node for node in members if node != member
+        )
+        accepted = self._broadcast_event(announcer, ("LEAVE", member, announcer))
+        if accepted is None:
+            raise ProtocolError("leave announcement was not delivered")
+        version = next(iter(self.views.values())).version + 1
+        event = MembershipEvent(
+            kind="leave", member=member, sponsor=announcer, version=version
+        )
+        departed_view = self.views.pop(member)
+        del departed_view
+        for directory in self.views.values():
+            directory.apply(event)
+
+    # ------------------------------------------------------------------
+    def views_consistent(self) -> bool:
+        """Do all member directories agree (the invariant ERB buys)?"""
+        snapshots = {d.snapshot() for d in self.views.values()}
+        return len(snapshots) == 1

@@ -1,0 +1,632 @@
+"""The synchronous round-based simulation engine.
+
+One :class:`SynchronousNetwork` drives N peers through lockstep rounds of
+length ``2*delta`` (assumptions S2/S3).  Each peer is a :class:`Node`:
+an :class:`Enclave` running an :class:`EnclaveProgram` (trusted) plus an
+optional adversarial :class:`OSBehavior` (untrusted).
+
+Round anatomy (matching Algorithm 2's phases):
+
+1. **begin** — every live program's ``on_round_begin`` runs; multicasts
+   staged during the previous round (the paper's ``Wait(rnd) then
+   Multicast(...)``) are emitted now, stamped with the current round.
+2. **transmit** — each emission is written through the blinded channel,
+   then handed to the sender's OS behaviour, which may drop / delay /
+   inject; surviving wires are charged to the traffic statistics (they
+   crossed the network).
+3. **deliver** — each wire passes the receiver's OS behaviour, then the
+   channel ``read`` (integrity / program / freshness checks; failures
+   count as omissions per Theorem A.2), then the program's ``on_message``,
+   which may acknowledge (``ctx.acknowledge``) and stage next-round
+   multicasts.
+4. **ack wave** — acknowledgements flow back within the same round (a
+   round is one round *trip*); the engine credits them to the pending
+   multicast handles.
+5. **halt check** — any multicast that collected fewer than the ACK
+   threshold halts its sender's enclave (halt-on-divergence, P4).
+6. **end** — ``on_round_end`` runs for live programs; the round's wall
+   time is ``max(2*delta, round_bytes / bandwidth)`` under the shared-link
+   model, and the trusted clock advances by it.
+
+The engine stops once every live node's program has produced an output
+(early stopping) or the protocol's round bound is exhausted, after which
+``on_protocol_end`` lets undecided programs accept their default (⊥).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adversary.behaviors import OSBehavior
+from repro.adversary.classification import ActionTrace, WireAction
+from repro.channel.peer_channel import WireMessage
+from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.errors import (
+    ConfigurationError,
+    IntegrityError,
+    ProtocolError,
+    ReplayError,
+    StaleRoundError,
+)
+from repro.common.rng import DeterministicRNG
+from repro.common.types import MessageType, NodeId, ProtocolMessage, Round
+from repro.common.serialization import encode
+from repro.crypto.dh import MODP_768, MODP_2048
+from repro.crypto.hashing import hash_bytes
+from repro.net.stats import RoundRecord, RunStats, TrafficStats
+from repro.net.topology import Topology
+from repro.net.transport import (
+    FullTransport,
+    ModeledTransport,
+    PlainTransport,
+    Transport,
+)
+from repro.sgx.attestation import AttestationAuthority
+from repro.sgx.enclave import Enclave
+from repro.sgx.program import EnclaveProgram
+from repro.sgx.trusted_time import SimulationClock
+
+#: Value accepted when a protocol times out without deciding (the paper's ⊥).
+BOTTOM = None
+
+
+@dataclass
+class MulticastHandle:
+    """Tracks one Multicast(...) call's acknowledgements (P4)."""
+
+    sender: NodeId
+    rnd: Round
+    key: bytes  # H(val) digest the receivers' ACKs will carry
+    expect_acks: bool
+    threshold: int
+    targets: int
+    acks: int = 0
+
+    @property
+    def diverged(self) -> bool:
+        return self.expect_acks and self.acks < self.threshold
+
+
+@dataclass
+class _SendIntent:
+    sender: NodeId
+    targets: Tuple[NodeId, ...]
+    message: ProtocolMessage
+    expect_acks: bool
+    threshold: int
+    handle: Optional[MulticastHandle] = None
+
+
+def _multicast_key(message: ProtocolMessage) -> tuple:
+    """Identity of a multicast for ACK matching: instance + header fields."""
+    return (
+        message.instance,
+        message.type.value,
+        message.initiator,
+        message.seq,
+        message.rnd,
+    )
+
+
+_DIGEST_CACHE: Dict[tuple, bytes] = {}
+
+
+def _ack_digest(key: tuple) -> bytes:
+    """The paper's ``H(val)`` carried inside an ACK, truncated to 8 bytes.
+
+    Cached per multicast identity — within one round every receiver ACKs
+    the same few multicast values.
+    """
+    digest = _DIGEST_CACHE.get(key)
+    if digest is None:
+        digest = hash_bytes(encode(key), domain="ack")[:8]
+        if len(_DIGEST_CACHE) > 4096:
+            _DIGEST_CACHE.clear()
+        _DIGEST_CACHE[key] = digest
+    return digest
+
+
+class EnclaveContext:
+    """The enclave-visible API handed to every program hook.
+
+    Multicast/send timing follows the paper's ``Wait`` semantics: calls
+    made during ``on_round_begin`` transmit this round; calls made during
+    message handling or ``on_round_end`` are staged for the start of the
+    next round.  ``acknowledge`` is always immediate (same round trip).
+    """
+
+    def __init__(self, network: "SynchronousNetwork", node_id: NodeId) -> None:
+        self._network = network
+        self.node_id = node_id
+
+    # ---- environment ---------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._network.config.n
+
+    @property
+    def t(self) -> int:
+        return self._network.config.t
+
+    @property
+    def config(self) -> SimulationConfig:
+        return self._network.config
+
+    @property
+    def round(self) -> Round:
+        return self._network.current_round
+
+    @property
+    def rdrand(self):
+        return self._network.nodes[self.node_id].enclave.rdrand
+
+    @property
+    def clock(self):
+        return self._network.nodes[self.node_id].enclave.clock
+
+    def neighbours(self) -> Iterable[NodeId]:
+        return self._network.topology.neighbours(self.node_id)
+
+    # ---- actions ---------------------------------------------------------
+    def multicast(
+        self,
+        message: ProtocolMessage,
+        targets: Optional[Iterable[NodeId]] = None,
+        expect_acks: bool = True,
+        threshold: Optional[int] = None,
+    ) -> None:
+        """Queue ``Multicast(id_i, val)`` to ``targets`` (default: all peers)."""
+        self._network._queue_multicast(
+            self.node_id, message, targets, expect_acks, threshold
+        )
+
+    def send(
+        self, dest: NodeId, message: ProtocolMessage, expect_acks: bool = False
+    ) -> None:
+        """Queue a unicast message."""
+        self._network._queue_multicast(
+            self.node_id, message, (dest,), expect_acks, None
+        )
+
+    def acknowledge(self, dest: NodeId, original: ProtocolMessage) -> None:
+        """Send an ACK for ``original`` back to ``dest`` this round."""
+        self._network._queue_ack(self.node_id, dest, original)
+
+    def halt(self) -> None:
+        """Voluntary Halt(st) — the enclave leaves the network (P4)."""
+        self._network.nodes[self.node_id].enclave.halt(self.round)
+
+
+@dataclass
+class Node:
+    """One peer: trusted enclave + untrusted OS behaviour."""
+
+    node_id: NodeId
+    enclave: Enclave
+    behavior: Optional[OSBehavior]
+    context: EnclaveContext
+
+    @property
+    def program(self) -> EnclaveProgram:
+        return self.enclave.program
+
+    @property
+    def alive(self) -> bool:
+        return not self.enclave.halted
+
+
+@dataclass
+class RunResult:
+    """Everything a benchmark or test needs from one protocol run."""
+
+    outputs: Dict[NodeId, object]
+    halted: List[NodeId]
+    stats: RunStats
+    decided_rounds: Dict[NodeId, Optional[int]]
+
+    @property
+    def rounds_executed(self) -> int:
+        return self.stats.rounds_executed
+
+    @property
+    def termination_seconds(self) -> float:
+        return self.stats.termination_seconds
+
+    @property
+    def traffic(self) -> TrafficStats:
+        return self.stats.traffic
+
+    def honest_outputs(self, byzantine: Iterable[NodeId]) -> Dict[NodeId, object]:
+        excluded = set(byzantine) | set(self.halted)
+        return {
+            node: value
+            for node, value in self.outputs.items()
+            if node not in excluded
+        }
+
+
+class SynchronousNetwork:
+    """The simulator: builds the network, runs one protocol to completion."""
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        program_factory: Callable[[NodeId], EnclaveProgram],
+        behaviors: Optional[Dict[NodeId, OSBehavior]] = None,
+        topology: Optional[Topology] = None,
+    ) -> None:
+        self.config = config
+        self.topology = topology or Topology.full_mesh(config.n)
+        if self.topology.n != config.n:
+            raise ConfigurationError(
+                f"topology size {self.topology.n} != network size {config.n}"
+            )
+        self.clock = SimulationClock()
+        self.master_rng = DeterministicRNG(("simulation", config.seed))
+        behaviors = behaviors or {}
+
+        authority: Optional[AttestationAuthority] = None
+        if config.channel_security is ChannelSecurity.FULL:
+            group_name = config.extra.get("dh_group", "2048")
+            self._dh_group = MODP_768 if group_name == "small" else MODP_2048
+            authority = AttestationAuthority(self.master_rng, self._dh_group)
+        else:
+            self._dh_group = MODP_2048
+
+        self.nodes: Dict[NodeId, Node] = {}
+        enclaves: Dict[NodeId, Enclave] = {}
+        for node_id in range(config.n):
+            program = program_factory(node_id)
+            enclave = Enclave(
+                node_id, program, self.master_rng, self.clock, authority
+            )
+            enclaves[node_id] = enclave
+            self.nodes[node_id] = Node(
+                node_id=node_id,
+                enclave=enclave,
+                behavior=behaviors.get(node_id),
+                context=EnclaveContext(self, node_id),
+            )
+
+        self.transport: Transport
+        if config.channel_security is ChannelSecurity.FULL:
+            self.transport = FullTransport(enclaves, self._dh_group)
+        elif config.channel_security is ChannelSecurity.MODELED:
+            self.transport = ModeledTransport(enclaves)
+        else:
+            self.transport = PlainTransport(enclaves)
+
+        self.stats = RunStats()
+        self.current_round: Round = 0
+        # Emission queues: _outbox_now transmits in the current round,
+        # _outbox_next at the start of the next one (Wait semantics).
+        self._outbox_now: List[_SendIntent] = []
+        self._outbox_next: List[_SendIntent] = []
+        self._ack_queue: List[Tuple[NodeId, NodeId, ProtocolMessage]] = []
+        self._future_wires: Dict[Round, List[WireMessage]] = {}
+        self._pending_handles: Dict[Tuple[NodeId, tuple], MulticastHandle] = {}
+        self._ack_size_cache: Dict[tuple, int] = {}
+        self._in_round_begin = False
+        # Optional Definition A.5 instrumentation (see
+        # repro.adversary.classification).
+        self.action_trace: Optional[ActionTrace] = (
+            ActionTrace() if config.extra.get("trace_actions") else None
+        )
+
+    # ------------------------------------------------------------------
+    # queueing API used by EnclaveContext
+    # ------------------------------------------------------------------
+    def _queue_multicast(
+        self,
+        sender: NodeId,
+        message: ProtocolMessage,
+        targets: Optional[Iterable[NodeId]],
+        expect_acks: bool,
+        threshold: Optional[int],
+    ) -> None:
+        if targets is None:
+            target_tuple = tuple(self.topology.neighbours(sender))
+        else:
+            target_tuple = tuple(t for t in targets if t != sender)
+        intent = _SendIntent(
+            sender=sender,
+            targets=target_tuple,
+            message=message,
+            expect_acks=expect_acks,
+            threshold=(
+                threshold if threshold is not None else self.config.ack_threshold
+            ),
+        )
+        if self._in_round_begin:
+            self._outbox_now.append(intent)
+        else:
+            self._outbox_next.append(intent)
+
+    def _queue_ack(
+        self, acker: NodeId, dest: NodeId, original: ProtocolMessage
+    ) -> None:
+        # An ACK carries only H(val) — the truncated digest of the
+        # multicast identity — matching the ~80 B ACKs of Section 6.1.
+        digest = _ack_digest(_multicast_key(original))
+        ack = ProtocolMessage(
+            type=MessageType.ACK,
+            initiator=0,
+            seq=0,
+            payload=digest,
+            rnd=self.current_round,
+            instance="",
+        )
+        self._ack_queue.append((acker, dest, ack))
+
+    # ------------------------------------------------------------------
+    # multi-instance support
+    # ------------------------------------------------------------------
+    def replace_programs(
+        self, program_factory: Callable[[NodeId], EnclaveProgram]
+    ) -> None:
+        """Install fresh programs for the *next* protocol instance.
+
+        The network persists across instances — channels keep their keys
+        and monotone counters (so replays from instance i are still dead
+        in instance i+1), and halted enclaves stay halted (a churned-out
+        node cannot rejoin, Section 3.1/P6).  The new program must have
+        the same measurement as the old one: swapping in different code
+        would be caught by attestation in a real deployment, so it is a
+        usage error here.
+        """
+        from repro.sgx.measurement import measure_program
+
+        for node in self.nodes.values():
+            if not node.alive:
+                continue
+            program = program_factory(node.node_id)
+            if measure_program(program) != node.enclave.measurement:
+                raise ConfigurationError(
+                    "replacement program has a different measurement; "
+                    "an instance swap cannot change the attested code"
+                )
+            node.enclave.program = program
+        self._outbox_now.clear()
+        self._outbox_next.clear()
+        self._ack_queue.clear()
+        self._future_wires.clear()
+        self._pending_handles.clear()
+        self.stats = RunStats()
+        self.current_round = 0
+
+    # ------------------------------------------------------------------
+    # main loop
+    # ------------------------------------------------------------------
+    def run(self, max_rounds: int) -> RunResult:
+        """Execute the protocol for at most ``max_rounds`` rounds."""
+        if max_rounds < 1:
+            raise ConfigurationError("max_rounds must be >= 1")
+        self._setup()
+        for rnd in range(1, max_rounds + 1):
+            self.current_round = rnd
+            self._run_round(rnd)
+            if self._everyone_done():
+                break
+        self._finish()
+        return self._result()
+
+    def _setup(self) -> None:
+        self.current_round = 0
+        for node in self.nodes.values():
+            if node.alive:
+                node.program.on_setup(node.context)
+
+    def _finish(self) -> None:
+        for node in self.nodes.values():
+            if node.alive:
+                node.program.on_protocol_end(node.context)
+
+    def _everyone_done(self) -> bool:
+        return all(
+            (not node.alive) or node.program.has_output
+            for node in self.nodes.values()
+        )
+
+    def _result(self) -> RunResult:
+        outputs: Dict[NodeId, object] = {}
+        decided: Dict[NodeId, Optional[int]] = {}
+        halted: List[NodeId] = []
+        for node_id, node in sorted(self.nodes.items()):
+            if not node.alive:
+                halted.append(node_id)
+            if node.program.has_output:
+                outputs[node_id] = node.program.output
+                decided[node_id] = node.program.decided_round
+        return RunResult(
+            outputs=outputs,
+            halted=halted,
+            stats=self.stats,
+            decided_rounds=decided,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_round(self, rnd: Round) -> None:
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        transport = self.transport
+        self._pending_handles.clear()
+
+        # Phase 1: round begin.  Staged multicasts from last round move to
+        # the live queue first so their relative order is stable.
+        self._outbox_now, self._outbox_next = self._outbox_next, []
+        self._in_round_begin = True
+        for node in nodes.values():
+            if node.alive:
+                node.program.on_round_begin(node.context)
+        self._in_round_begin = False
+
+        # Phase 2: transmit.
+        transmissions: List[WireMessage] = []
+        for intent in self._outbox_now:
+            sender_node = nodes[intent.sender]
+            if not sender_node.alive:
+                continue
+            message = intent.message.with_round(rnd)
+            digest = _ack_digest(_multicast_key(message))
+            handle = MulticastHandle(
+                sender=intent.sender,
+                rnd=rnd,
+                key=digest,
+                expect_acks=intent.expect_acks,
+                threshold=intent.threshold,
+                targets=len(intent.targets),
+            )
+            if intent.expect_acks:
+                self._pending_handles[(intent.sender, digest)] = handle
+            size_hint = transport.message_size(message)
+            behavior = sender_node.behavior
+            for receiver in intent.targets:
+                wire = transport.write(intent.sender, receiver, message, size_hint)
+                if behavior is None:
+                    traffic.record_send(wire.mtype, wire.size, rnd)
+                    transmissions.append(wire)
+                    continue
+                self._apply_send_filter(
+                    behavior, intent.sender, wire, rnd, transmissions
+                )
+        self._outbox_now = []
+
+        # Injected (replayed / forged) wires and previously delayed wires.
+        trace = self.action_trace
+        for node in nodes.values():
+            behavior = node.behavior
+            if behavior is None or not node.alive:
+                continue
+            for delay, out in behavior.drain_injections(rnd):
+                if trace is not None:
+                    trace.record(node.node_id, rnd, WireAction.REPLAY)
+                if delay <= 0:
+                    traffic.record_send(out.mtype, out.size, rnd)
+                    transmissions.append(out)
+                else:
+                    self._future_wires.setdefault(rnd + delay, []).append(out)
+        for out in self._future_wires.pop(rnd, ()):  # delayed arrivals
+            traffic.record_send(out.mtype, out.size, rnd)
+            transmissions.append(out)
+
+        # Phase 3: deliver protocol messages.
+        self._deliver(transmissions, rnd, is_ack_wave=False)
+
+        # Phase 4: ack wave (same round trip).
+        ack_wires: List[WireMessage] = []
+        ack_queue, self._ack_queue = self._ack_queue, []
+        for acker, dest, ack in ack_queue:
+            acker_node = nodes[acker]
+            if not acker_node.alive:
+                continue
+            cache_key = (ack.instance, ack.initiator, ack.seq, ack.rnd, ack.payload)
+            size_hint = self._ack_size_cache.get(cache_key)
+            if size_hint is None:
+                size_hint = transport.message_size(ack)
+                self._ack_size_cache[cache_key] = size_hint
+            wire = transport.write(acker, dest, ack, size_hint)
+            behavior = acker_node.behavior
+            if behavior is None:
+                traffic.record_send(wire.mtype, wire.size, rnd)
+                ack_wires.append(wire)
+                continue
+            self._apply_send_filter(behavior, acker, wire, rnd, ack_wires)
+        self._deliver(ack_wires, rnd, is_ack_wave=True)
+
+        # Phase 5: halt-on-divergence check (P4).
+        for (sender, _key), handle in self._pending_handles.items():
+            if handle.diverged and handle.targets >= handle.threshold:
+                nodes[sender].enclave.halt(rnd)
+
+        # Phase 6: round end.
+        for node in nodes.values():
+            if node.alive:
+                node.program.on_round_end(node.context)
+            if node.behavior is not None:
+                node.behavior.on_round_end(rnd)
+
+        # Advance simulated time under the shared-link bandwidth model.
+        seconds = self.config.round_seconds
+        round_bytes = traffic.round_bytes(rnd)
+        bandwidth = self.config.bandwidth_bytes_per_s
+        if bandwidth:
+            seconds = max(seconds, round_bytes / bandwidth)
+        self.clock.advance(seconds)
+        self.stats.rounds.append(
+            RoundRecord(rnd=rnd, bytes=round_bytes, seconds=seconds)
+        )
+
+    def _apply_send_filter(
+        self,
+        behavior: OSBehavior,
+        sender: NodeId,
+        wire: WireMessage,
+        rnd: Round,
+        immediate: List[WireMessage],
+    ) -> None:
+        """Run one wire through the sender's OS behaviour, recording the
+        traffic and (optionally) the Definition A.5 action trace."""
+        traffic = self.stats.traffic
+        trace = self.action_trace
+        delivered_any = False
+        for index, (delay, out) in enumerate(behavior.filter_send(wire, rnd)):
+            delivered_any = True
+            if trace is not None:
+                if out is not wire:
+                    action = WireAction.MODIFY
+                elif delay > 0:
+                    action = WireAction.DELAY
+                elif index == 0:
+                    action = WireAction.DELIVER
+                else:
+                    action = WireAction.REPLAY  # duplicate copies
+                trace.record(sender, rnd, action)
+            if delay <= 0:
+                traffic.record_send(out.mtype, out.size, rnd)
+                immediate.append(out)
+            else:
+                self._future_wires.setdefault(rnd + delay, []).append(out)
+        if not delivered_any:
+            traffic.record_omission()
+            if trace is not None:
+                trace.record(sender, rnd, WireAction.DROP_SEND)
+
+    def _deliver(
+        self, wires: List[WireMessage], rnd: Round, is_ack_wave: bool
+    ) -> None:
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        transport = self.transport
+        handles = self._pending_handles
+        for wire in wires:
+            receiver_node = nodes.get(wire.receiver)
+            if receiver_node is None or not receiver_node.alive:
+                traffic.record_omission()
+                continue
+            behavior = receiver_node.behavior
+            if behavior is not None and not behavior.filter_receive(wire, rnd):
+                traffic.record_omission()
+                if self.action_trace is not None:
+                    self.action_trace.record(
+                        wire.receiver, rnd, WireAction.DROP_RECV
+                    )
+                continue
+            try:
+                message = transport.read(wire.receiver, wire)
+            except (IntegrityError, ReplayError, StaleRoundError):
+                traffic.record_rejection()
+                continue
+            except ProtocolError:
+                traffic.record_rejection()
+                continue
+            if message.type is MessageType.ACK:
+                handle = handles.get((wire.receiver, message.payload))
+                if handle is not None:
+                    handle.acks += 1
+                # ACKs for unknown multicasts (replays, cross-round strays)
+                # are ignored — exactly the 'treat as omitted' rule.
+                continue
+            receiver_node.program.on_message(
+                receiver_node.context, wire.sender, message
+            )

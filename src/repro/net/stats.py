@@ -1,0 +1,92 @@
+"""Traffic and round accounting.
+
+Every delivered-or-attempted message is recorded here; the figure
+benchmarks read these counters.  Conventions match the paper's evaluation:
+
+* *traffic size* counts bytes of every message handed to the network by a
+  sender's OS (Fig. 3 measures network bandwidth, so dropped-at-sender
+  messages don't count, but messages dropped by the *receiver* do — they
+  crossed the wire);
+* *termination time* is simulated seconds until the last honest node
+  accepts, where each round lasts ``max(2*delta, round_bytes/bandwidth)``
+  under the shared-link model.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.types import MessageType
+
+
+@dataclass
+class TrafficStats:
+    """Mutable counters for one protocol run."""
+
+    messages_sent: int = 0
+    bytes_sent: int = 0
+    messages_by_type: Counter = field(default_factory=Counter)
+    bytes_by_type: Counter = field(default_factory=Counter)
+    omissions: int = 0            # messages dropped (by adversary or checks)
+    rejections: int = 0           # messages rejected by channel verification
+    bytes_by_round: Dict[int, int] = field(default_factory=dict)
+
+    def record_send(self, mtype: MessageType, size: int, rnd: int) -> None:
+        self.messages_sent += 1
+        self.bytes_sent += size
+        self.messages_by_type[mtype] += 1
+        self.bytes_by_type[mtype] += size
+        self.bytes_by_round[rnd] = self.bytes_by_round.get(rnd, 0) + size
+
+    def record_omission(self) -> None:
+        self.omissions += 1
+
+    def record_rejection(self) -> None:
+        self.rejections += 1
+
+    @property
+    def megabytes_sent(self) -> float:
+        return self.bytes_sent / (1024.0 * 1024.0)
+
+    def round_bytes(self, rnd: int) -> int:
+        return self.bytes_by_round.get(rnd, 0)
+
+    def summary(self) -> str:
+        per_type = ", ".join(
+            f"{mtype.value}={count}"
+            for mtype, count in sorted(
+                self.messages_by_type.items(), key=lambda kv: kv[0].value
+            )
+        )
+        return (
+            f"{self.messages_sent} msgs / {self.megabytes_sent:.3f} MB "
+            f"({per_type}); omissions={self.omissions}, "
+            f"rejections={self.rejections}"
+        )
+
+
+@dataclass
+class RoundRecord:
+    """Timing record of one executed round."""
+
+    rnd: int
+    bytes: int
+    seconds: float
+
+
+@dataclass
+class RunStats:
+    """Aggregated result of one simulation run."""
+
+    rounds: List[RoundRecord] = field(default_factory=list)
+    traffic: TrafficStats = field(default_factory=TrafficStats)
+
+    @property
+    def rounds_executed(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def termination_seconds(self) -> float:
+        return sum(record.seconds for record in self.rounds)

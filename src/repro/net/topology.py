@@ -1,0 +1,95 @@
+"""Network topologies: full mesh (assumption S5) and its relaxation.
+
+The paper's model assumes every peer is directly connected to every other
+(S5), and notes in Appendix G that a sparse expander or random graph with
+flooding suffices in practice.  Both are available here; the simulator
+routes a multicast only to a node's topology neighbours, so running ERB on
+an expander exercises exactly that relaxation (tests assert connectivity
+so the flooding argument applies).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Sequence
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import NodeId
+
+
+class Topology:
+    """An undirected connectivity graph over node ids ``0..n-1``."""
+
+    def __init__(self, n: int, adjacency: Dict[NodeId, FrozenSet[NodeId]]) -> None:
+        self.n = n
+        self._adjacency = adjacency
+
+    # ---- constructors --------------------------------------------------
+    @staticmethod
+    def full_mesh(n: int) -> "Topology":
+        """Every peer connected to every other (model assumption S5)."""
+        everyone = frozenset(range(n))
+        return Topology(
+            n, {node: everyone - {node} for node in range(n)}
+        )
+
+    @staticmethod
+    def random_regular(n: int, degree: int, rng: DeterministicRNG) -> "Topology":
+        """A random ``degree``-regular-ish graph (Appendix G relaxation).
+
+        Built by superposing ``degree // 2`` uniformly random Hamiltonian
+        cycles — a classic expander construction: the union of a few random
+        cycles is an expander with high probability.  Every node ends up
+        with degree between ``degree`` and ``degree`` + O(collisions).
+        """
+        if degree < 2 or degree % 2 != 0:
+            raise ConfigurationError("degree must be an even integer >= 2")
+        if n < 3:
+            raise ConfigurationError("random_regular needs n >= 3")
+        neighbours: Dict[NodeId, set] = {node: set() for node in range(n)}
+        for _ in range(degree // 2):
+            order = list(range(n))
+            rng.shuffle(order)
+            for i, node in enumerate(order):
+                nxt = order[(i + 1) % n]
+                neighbours[node].add(nxt)
+                neighbours[nxt].add(node)
+        return Topology(
+            n, {node: frozenset(peers) for node, peers in neighbours.items()}
+        )
+
+    # ---- queries --------------------------------------------------------
+    def neighbours(self, node: NodeId) -> FrozenSet[NodeId]:
+        return self._adjacency[node]
+
+    def are_connected(self, a: NodeId, b: NodeId) -> bool:
+        return b in self._adjacency[a]
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adjacency[node])
+
+    @property
+    def is_full_mesh(self) -> bool:
+        return all(
+            len(self._adjacency[node]) == self.n - 1 for node in range(self.n)
+        )
+
+    def is_connected(self) -> bool:
+        """BFS connectivity check (flooding reaches everyone iff True)."""
+        if self.n == 0:
+            return True
+        seen = {0}
+        frontier: List[NodeId] = [0]
+        while frontier:
+            node = frontier.pop()
+            for peer in self._adjacency[node]:
+                if peer not in seen:
+                    seen.add(peer)
+                    frontier.append(peer)
+        return len(seen) == self.n
+
+    def edges(self) -> Iterable[tuple]:
+        for node in range(self.n):
+            for peer in self._adjacency[node]:
+                if node < peer:
+                    yield (node, peer)

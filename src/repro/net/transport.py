@@ -1,0 +1,206 @@
+"""Delivery layer: three interchangeable channel fidelities.
+
+Each transport implements the same two verbs used by the simulator:
+
+* ``write(sender, receiver, message, size_hint)`` — executed conceptually
+  inside the *sending* enclave: seal the value for the receiver, return
+  the :class:`WireMessage` the OS layer gets to handle;
+* ``read(receiver, wire)`` — executed inside the *receiving* enclave:
+  verify integrity (P2), program binding (P1), freshness (P6); raise on
+  any failure so the engine records an omission instead.
+
+``FullTransport`` runs the real Fig. 4 channels.  ``ModeledTransport``
+keeps the identical accept/reject semantics with O(1) integer bookkeeping
+per message (flat per-node counter arrays), which is what lets the scaling
+benchmarks reach N = 2^10.  ``PlainTransport`` is the no-security mode for
+strawman attack demonstrations: it verifies nothing.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import replace
+from typing import Dict, List, Optional
+
+from repro.channel.peer_channel import (
+    ChannelTable,
+    SecureChannel,
+    WireMessage,
+    modeled_wire_size,
+)
+from repro.common.config import ChannelSecurity
+from repro.common.errors import IntegrityError, ProtocolError, ReplayError
+from repro.common.types import NodeId, ProtocolMessage
+from repro.crypto.dh import DhGroup, MODP_2048
+from repro.sgx.enclave import Enclave
+
+
+class Transport:
+    """Interface shared by the three fidelities."""
+
+    security: ChannelSecurity
+
+    def write(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> WireMessage:
+        raise NotImplementedError
+
+    def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
+        raise NotImplementedError
+
+    def message_size(self, message: ProtocolMessage) -> int:
+        """Wire size of ``message`` (computed once per multicast)."""
+        return modeled_wire_size(message)
+
+
+class FullTransport(Transport):
+    """Real blinded channels between every pair of enclaves."""
+
+    security = ChannelSecurity.FULL
+
+    def __init__(
+        self, enclaves: Dict[NodeId, Enclave], group: DhGroup = MODP_2048
+    ) -> None:
+        self._enclaves = enclaves
+        self._table = ChannelTable()
+        ids = sorted(enclaves)
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                self._table.add(
+                    SecureChannel.establish(
+                        enclaves[a], enclaves[b], ChannelSecurity.FULL, group
+                    )
+                )
+
+    def write(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> WireMessage:
+        enclave = self._enclaves[sender]
+        enclave.guard()
+        channel = self._table.get(sender, receiver)
+        wire = channel.write(
+            sender, message, enclave.rdrand.rng(), enclave.measurement
+        )
+        wire.mtype = message.type
+        return wire
+
+    def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
+        enclave = self._enclaves[receiver]
+        enclave.guard()
+        channel = self._table.get(wire.sender, receiver)
+        return channel.read(receiver, wire)
+
+
+class ModeledTransport(Transport):
+    """Size-accurate, semantics-accurate channel model.
+
+    Per ordered pair ``(s, r)`` it tracks a send counter and the highest
+    counter accepted by the reader; tampered flags and measurement
+    mismatches reject exactly as the real channel does.
+    """
+
+    security = ChannelSecurity.MODELED
+
+    def __init__(self, enclaves: Dict[NodeId, Enclave]) -> None:
+        self._enclaves = enclaves
+        n = max(enclaves) + 1 if enclaves else 0
+        self._n = n
+        self._measurements: List[Optional[bytes]] = [None] * n
+        for node, enclave in enclaves.items():
+            self._measurements[node] = enclave.measurement
+        # _send[s][r]: messages written by s for r so far.
+        # _accepted[r][s]: highest counter r accepted from s.
+        self._send = [array("q", [0]) * n for _ in range(n)]
+        self._accepted = [array("q", [0]) * n for _ in range(n)]
+
+    def write(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> WireMessage:
+        self._enclaves[sender].guard()
+        row = self._send[sender]
+        row[receiver] += 1
+        size = size_hint if size_hint is not None else modeled_wire_size(message)
+        return WireMessage(
+            sender=sender,
+            receiver=receiver,
+            counter=row[receiver],
+            size=size,
+            plain=message,
+            plain_measurement=self._measurements[sender],
+            mtype=message.type,
+        )
+
+    def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
+        self._enclaves[receiver].guard()
+        if wire.receiver != receiver:
+            raise IntegrityError("wire message routed to the wrong node")
+        if wire.tampered:
+            raise IntegrityError("MAC verification failed (modeled tampering)")
+        sender = wire.sender
+        expected = self._measurements[receiver]
+        if wire.plain_measurement != expected:
+            raise IntegrityError(
+                "message bound to a different program (H(pi) mismatch)"
+            )
+        accepted = self._accepted[receiver]
+        if wire.counter <= accepted[sender]:
+            raise ReplayError(
+                f"stale counter {wire.counter} from {sender} "
+                f"(highest accepted {accepted[sender]})"
+            )
+        accepted[sender] = wire.counter
+        if wire.plain is None:
+            raise ProtocolError("modeled wire message without plaintext")
+        return wire.plain
+
+
+class PlainTransport(Transport):
+    """No security at all — Algorithm 1's world, for attack demos only."""
+
+    security = ChannelSecurity.NONE
+
+    def __init__(self, enclaves: Dict[NodeId, Enclave]) -> None:
+        self._enclaves = enclaves
+        self._counter = 0
+
+    def write(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> WireMessage:
+        self._enclaves[sender].guard()
+        self._counter += 1
+        size = size_hint if size_hint is not None else modeled_wire_size(message)
+        return WireMessage(
+            sender=sender,
+            receiver=receiver,
+            counter=self._counter,
+            size=size,
+            plain=message,
+            mtype=message.type,
+            opaque=False,  # no encryption: the OS reads everything
+        )
+
+    def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
+        self._enclaves[receiver].guard()
+        if wire.plain is None:
+            raise ProtocolError("plain wire message without plaintext")
+        # Forged and replayed messages sail through: this is the point.
+        if wire.receiver != receiver:
+            # Even the strawman's TCP layer delivers to the addressee.
+            return replace(wire, receiver=receiver).plain
+        return wire.plain

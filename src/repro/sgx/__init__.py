@@ -1,0 +1,53 @@
+"""Simulated Intel SGX features F1-F4.
+
+The paper relies on four hardware features; each has a software equivalent
+here with the same protocol-visible contract (see DESIGN.md §2 for the
+substitution argument):
+
+* **F1 enclaved execution** — :class:`repro.sgx.enclave.Enclave`: protocol
+  state lives inside the enclave object and the untrusted OS layer only
+  interacts with it through the message interface; once halted, an enclave
+  refuses all further work.
+* **F2 unbiased randomness** — :class:`repro.sgx.rdrand.RdRand`: a
+  per-enclave CSPRNG stream invisible to the OS layer.
+* **F3 remote attestation** — :mod:`repro.sgx.attestation`: program
+  measurements (MRENCLAVE) and quotes signed by a simulated attestation
+  authority.
+* **F4 trusted elapsed time** — :mod:`repro.sgx.trusted_time`: a monotonic
+  clock slaved to the simulator, out of the adversary's reach.
+
+:mod:`repro.sgx.program` additionally implements the formal program /
+transcript model of Appendix A (Definitions A.1-A.3), which the tests use
+to exercise the byzantine-to-ROD reduction.
+"""
+
+from repro.sgx.attestation import AttestationAuthority, Quote
+from repro.sgx.enclave import Enclave, EnclaveState
+from repro.sgx.measurement import measure_program
+from repro.sgx.program import (
+    EnclaveProgram,
+    Instruction,
+    Program,
+    is_valid_transcript,
+    run_program,
+)
+from repro.sgx.rdrand import RdRand
+from repro.sgx.sealing import seal_data, unseal_data
+from repro.sgx.trusted_time import TrustedClock
+
+__all__ = [
+    "AttestationAuthority",
+    "Enclave",
+    "EnclaveProgram",
+    "EnclaveState",
+    "Instruction",
+    "Program",
+    "Quote",
+    "RdRand",
+    "TrustedClock",
+    "is_valid_transcript",
+    "measure_program",
+    "run_program",
+    "seal_data",
+    "unseal_data",
+]

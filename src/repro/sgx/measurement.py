@@ -1,0 +1,25 @@
+"""Program measurement — the simulated MRENCLAVE.
+
+SGX identifies enclave code by a hash of its initial memory contents.  Here
+a program's measurement is the hash of its declared name/version material
+plus, when available, the source code of its class — so editing a protocol
+implementation changes its measurement, and a peer attesting for the old
+measurement will reject a quote for the new one, exactly like re-building
+an enclave changes MRENCLAVE.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.crypto.hashing import hash_bytes
+
+
+def measure_program(program) -> bytes:
+    """Return the 32-byte measurement of an :class:`EnclaveProgram` instance."""
+    material = program.measurement_material()
+    try:
+        source = inspect.getsource(type(program)).encode("utf-8")
+    except (OSError, TypeError):  # interactively-defined classes
+        source = type(program).__qualname__.encode("utf-8")
+    return hash_bytes(material + b"\x00" + source, domain="mrenclave")

@@ -1,0 +1,167 @@
+"""The formal program model of Appendix A, plus the runtime program base class.
+
+Two layers live here:
+
+1. The **formal model** (Definitions A.1-A.3): a :class:`Program` is a
+   sequence of :class:`Instruction` steps ``(st_{i+1}, m_{i+1}) =
+   pi_i(st_i, m_i)``; running it yields a transcript whose validity is
+   whether any state ever became ``BOTTOM``.  The test-suite uses this
+   machinery to check halt-on-divergence (Definition A.7) and the
+   reduction proofs' bookkeeping directly against the definitions.
+
+2. The **runtime base class** :class:`EnclaveProgram`, which every
+   protocol in :mod:`repro.core` and :mod:`repro.baselines` subclasses.
+   An instance runs inside an :class:`repro.sgx.enclave.Enclave` and is
+   driven by the synchronous simulator through four hooks
+   (setup / round begin / message / round end).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: The distinguished bottom state (the paper's ``⊥``).
+BOTTOM = None
+
+State = object
+Message = object
+StepFn = Callable[[State, Message], Tuple[State, Message]]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction ``pi_i`` of a program (Definition A.1)."""
+
+    name: str
+    step: StepFn
+
+    def __call__(self, state: State, message: Message) -> Tuple[State, Message]:
+        # An instruction with BOTTOM input state always outputs BOTTOM
+        # (Definition A.1's convention) — this is what makes Halt sticky.
+        if state is BOTTOM:
+            return BOTTOM, BOTTOM
+        return self.step(state, message)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A finite sequence of instructions (Definition A.1)."""
+
+    name: str
+    instructions: Tuple[Instruction, ...]
+
+    @staticmethod
+    def from_steps(name: str, steps: Sequence[Tuple[str, StepFn]]) -> "Program":
+        return Program(
+            name=name,
+            instructions=tuple(Instruction(n, fn) for n, fn in steps),
+        )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+def run_program(
+    program: Program, initial_state: State, messages: Sequence[Message]
+) -> List[Tuple[State, Message]]:
+    """Execute ``program`` and return its transcript (Definition A.2).
+
+    The transcript is the list of ``(st_{i+1}, m_{i+1})`` outputs, one per
+    instruction.  ``messages`` supplies the per-instruction inputs ``m_i``.
+    """
+    if len(messages) != len(program):
+        raise ValueError(
+            f"program {program.name} has {len(program)} instructions "
+            f"but got {len(messages)} input messages"
+        )
+    transcript: List[Tuple[State, Message]] = []
+    state = initial_state
+    for instruction, incoming in zip(program.instructions, messages):
+        state, outgoing = instruction(state, incoming)
+        transcript.append((state, outgoing))
+    return transcript
+
+
+def is_valid_transcript(transcript: Sequence[Tuple[State, Message]]) -> bool:
+    """Definition A.3: valid iff no intermediate state is ``⊥``."""
+    return all(state is not BOTTOM for state, _ in transcript)
+
+
+class EnclaveProgram:
+    """Base class for protocol logic executed inside an enclave (F1).
+
+    Subclasses implement the four driver hooks.  The ``ctx`` argument is an
+    :class:`repro.net.simulator.EnclaveContext` giving access to the
+    enclave-visible world: node id, current round, RDRAND, multicast/send,
+    and ``halt()``.  State kept on ``self`` is enclave-private — the
+    simulator never exposes it to adversarial OS behaviours.
+
+    ``PROGRAM_NAME`` and ``PROGRAM_VERSION`` feed the measurement
+    (MRENCLAVE); two peers attest each other's measurements during channel
+    setup, so running a *different* program (attack A1 via code swap) is
+    caught before any protocol message flows.
+    """
+
+    PROGRAM_NAME = "enclave-program"
+    PROGRAM_VERSION = "1"
+
+    def __init__(self) -> None:
+        self._output: object = _UNSET
+        self._decided_round: Optional[int] = None
+
+    # ---- driver hooks -------------------------------------------------
+    def on_setup(self, ctx) -> None:
+        """Called once before round 1, after channels are established."""
+
+    def on_round_begin(self, ctx) -> None:
+        """Called at the start of every round, before deliveries."""
+
+    def on_message(self, ctx, sender: int, message) -> None:
+        """Called once per valid delivered protocol message."""
+
+    def on_round_end(self, ctx) -> None:
+        """Called at the end of every round, after all deliveries."""
+
+    def on_protocol_end(self, ctx) -> None:
+        """Called once after the final round; undecided programs accept ⊥."""
+
+    # ---- output handling ----------------------------------------------
+    @property
+    def has_output(self) -> bool:
+        return self._output is not _UNSET
+
+    @property
+    def output(self) -> object:
+        if self._output is _UNSET:
+            raise LookupError(
+                f"{type(self).__name__} has not produced an output yet"
+            )
+        return self._output
+
+    @property
+    def decided_round(self) -> Optional[int]:
+        """Round in which the output was accepted (for round-count stats)."""
+        return self._decided_round
+
+    def _accept(self, ctx, value: object) -> None:
+        """Record the protocol output ('accept' in the paper's pseudocode)."""
+        if self._output is _UNSET:
+            self._output = value
+            self._decided_round = ctx.round
+
+    def measurement_material(self) -> bytes:
+        """Bytes fed into the MRENCLAVE measurement for this program."""
+        return (
+            f"{self.PROGRAM_NAME}:{self.PROGRAM_VERSION}".encode("utf-8")
+        )
+
+
+class _Unset:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+_UNSET = _Unset()

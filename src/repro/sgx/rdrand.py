@@ -1,0 +1,36 @@
+"""F2 — unbiased hardware randomness (``sgx_read_rand`` / RDRAND).
+
+Each enclave owns one :class:`RdRand` stream, forked off the simulation's
+master seed by the enclave's identity.  The stream's internal state is
+never handed to OS behaviours, which models the paper's guarantee that the
+OS can neither observe nor bias the hardware source.  Determinism per seed
+makes runs reproducible; independence per fork label means an adversary
+cannot correlate two enclaves' draws.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import DeterministicRNG
+
+
+class RdRand:
+    """Per-enclave unbiased random source."""
+
+    def __init__(self, master: DeterministicRNG, enclave_label: object) -> None:
+        self._rng = master.fork(("rdrand", enclave_label))
+
+    def read_rand(self, nbytes: int) -> bytes:
+        """The ``sgx_read_rand`` entry point: ``nbytes`` random bytes."""
+        return self._rng.randbytes(nbytes)
+
+    def random_bits(self, k: int) -> int:
+        """Uniform integer in ``[0, 2**k)`` — the ``m <- {0,1}^k`` of Alg. 3."""
+        return self._rng.randbits(k)
+
+    def random_range(self, n: int) -> int:
+        """Uniform integer in ``[0, n)`` — the cluster coin of Alg. 6."""
+        return self._rng.randrange(n)
+
+    def rng(self) -> DeterministicRNG:
+        """Expose the stream for crypto operations inside the enclave."""
+        return self._rng

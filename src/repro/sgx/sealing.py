@@ -1,0 +1,47 @@
+"""Data sealing — persistence bound to the enclave identity.
+
+SGX lets an enclave encrypt data under a key derived from its measurement
+so that only the *same program* on the *same platform* can recover it.  The
+load-balancer application (Appendix H) uses this to pre-generate random
+numbers offline.  The seal key is derived from (platform secret,
+measurement) through HKDF; a different program or platform derives a
+different key and unsealing fails with an integrity error.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import IntegrityError
+from repro.common.rng import DeterministicRNG
+from repro.crypto.aead import AEAD, AeadKey
+from repro.crypto.kdf import hkdf
+from repro.crypto.mac import KEY_SIZE
+
+
+def _seal_key(platform_secret: bytes, measurement: bytes) -> AeadKey:
+    material = hkdf(
+        platform_secret + measurement, info=b"sgx-seal", length=2 * KEY_SIZE
+    )
+    return AeadKey(enc_key=material[:KEY_SIZE], mac_key=material[KEY_SIZE:])
+
+
+def seal_data(
+    platform_secret: bytes,
+    measurement: bytes,
+    plaintext: bytes,
+    rng: DeterministicRNG,
+) -> bytes:
+    """Seal ``plaintext`` to (platform, program)."""
+    box = AEAD(_seal_key(platform_secret, measurement))
+    return box.seal(plaintext, rng, associated_data=b"sealed-blob")
+
+
+def unseal_data(
+    platform_secret: bytes, measurement: bytes, sealed: bytes
+) -> bytes:
+    """Recover sealed data; raises :class:`IntegrityError` for a wrong
+    platform/program pair or tampered blob."""
+    box = AEAD(_seal_key(platform_secret, measurement))
+    try:
+        return box.open(sealed, associated_data=b"sealed-blob")
+    except IntegrityError as exc:
+        raise IntegrityError(f"unsealing failed: {exc}") from exc

@@ -1,0 +1,52 @@
+"""F4 — trusted elapsed time (``sgx_get_trusted_time``).
+
+The simulator owns a global clock; each enclave sees it through a
+:class:`TrustedClock` anchored at its own reference point.  The adversarial
+OS layer is never given a handle to the clock, so it cannot rewind or skew
+it — which is exactly what makes lockstep execution (P5) enforceable: the
+enclave derives the current round number from elapsed time alone and stamps
+or checks every message with it, and no software action of the OS can move
+a byzantine node to a different round.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProtocolError
+
+
+class SimulationClock:
+    """The simulator-owned time source all trusted clocks are slaved to."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ProtocolError("simulation time cannot move backwards")
+        self._now += seconds
+
+
+class TrustedClock:
+    """An enclave's view of trusted elapsed time, relative to a reference."""
+
+    def __init__(self, source: SimulationClock) -> None:
+        self._source = source
+        self._reference = source.now
+
+    def reset_reference(self) -> None:
+        """Re-anchor ('start the local clock', Algorithm 2's echo phase)."""
+        self._reference = self._source.now
+
+    def elapsed(self) -> float:
+        """``sgx_get_trusted_time``: seconds since the reference point."""
+        return self._source.now - self._reference
+
+    def current_round(self, round_seconds: float) -> int:
+        """1-based round implied by elapsed time (lockstep execution, P5)."""
+        if round_seconds <= 0:
+            raise ProtocolError("round duration must be positive")
+        return int(self.elapsed() // round_seconds) + 1

@@ -1,0 +1,38 @@
+"""Shared fixtures and helpers for the test-suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.rng import DeterministicRNG
+
+
+@pytest.fixture
+def rng() -> DeterministicRNG:
+    return DeterministicRNG("test-fixture")
+
+
+def small_config(n: int, seed: int = 0, **kwargs) -> SimulationConfig:
+    """A MODELED-channel config for protocol tests."""
+    return SimulationConfig(n=n, seed=seed, **kwargs)
+
+
+def full_crypto_config(n: int, seed: int = 0, **kwargs) -> SimulationConfig:
+    """A FULL-channel config using the small DH group for speed."""
+    extra = kwargs.pop("extra", {})
+    extra.setdefault("dh_group", "small")
+    return SimulationConfig(
+        n=n,
+        seed=seed,
+        channel_security=ChannelSecurity.FULL,
+        extra=extra,
+        **kwargs,
+    )
+
+
+def plain_config(n: int, seed: int = 0, **kwargs) -> SimulationConfig:
+    """A NONE-channel config for strawman attack tests."""
+    return SimulationConfig(
+        n=n, seed=seed, channel_security=ChannelSecurity.NONE, **kwargs
+    )

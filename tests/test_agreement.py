@@ -1,0 +1,131 @@
+"""Interactive consistency and byzantine agreement built on ERB."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import DelayAdversary, SelectiveOmission, TamperAdversary
+from repro.common.errors import ConfigurationError
+from repro.core.agreement import (
+    majority_rule,
+    median_rule,
+    run_byzantine_agreement,
+    run_interactive_consistency,
+)
+
+from tests.conftest import small_config
+
+
+class TestResolutionRules:
+    def test_majority_basic(self):
+        rule = majority_rule()
+        assert rule({0: "A", 1: "A", 2: "B"}) == "A"
+
+    def test_majority_ignores_bottom(self):
+        rule = majority_rule()
+        assert rule({0: None, 1: "B", 2: None}) == "B"
+
+    def test_majority_empty_default(self):
+        rule = majority_rule(default="fallback")
+        assert rule({0: None, 1: None}) == "fallback"
+
+    def test_majority_tie_deterministic(self):
+        rule = majority_rule()
+        vector = {0: "A", 1: "B"}
+        assert rule(vector) == rule(dict(reversed(list(vector.items()))))
+
+    def test_median(self):
+        rule = median_rule()
+        assert rule({0: 5, 1: 1, 2: 9}) == 5
+        assert rule({0: 1, 1: 2, 2: 3, 3: 4}) == 2  # lower median
+
+    def test_median_empty_default(self):
+        assert median_rule(default=0)({0: None}) == 0
+
+
+class TestInteractiveConsistency:
+    def test_honest_vectors_identical_and_complete(self):
+        n = 7
+        inputs = {i: f"v{i}" for i in range(n)}
+        result = run_interactive_consistency(small_config(n, seed=1), inputs)
+        vectors = set(result.outputs.values())
+        assert len(vectors) == 1
+        vector = dict(vectors.pop())
+        assert vector == inputs
+
+    def test_silent_node_maps_to_bottom_for_everyone(self):
+        n = 7
+        inputs = {i: i * 10 for i in range(n)}
+        result = run_interactive_consistency(
+            small_config(n, seed=2), inputs,
+            behaviors={3: DelayAdversary(n)},
+        )
+        vectors = {
+            v for node, v in result.outputs.items() if node != 3
+        }
+        assert len(vectors) == 1
+        vector = dict(vectors.pop())
+        assert vector[3] is None
+        assert all(vector[i] == i * 10 for i in range(n) if i != 3)
+
+    def test_missing_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_interactive_consistency(small_config(3), {0: "x"})
+
+
+class TestByzantineAgreement:
+    def test_agreement_and_validity_unanimous(self):
+        n = 7
+        inputs = {i: "same" for i in range(n)}
+        result = run_byzantine_agreement(small_config(n, seed=3), inputs)
+        assert set(result.outputs.values()) == {"same"}
+
+    def test_agreement_mixed_inputs(self):
+        n = 9
+        inputs = {i: ("X" if i < 6 else "Y") for i in range(n)}
+        result = run_byzantine_agreement(small_config(n, seed=4), inputs)
+        assert set(result.outputs.values()) == {"X"}
+
+    def test_agreement_under_tamperer(self):
+        n = 9
+        inputs = {i: "v" for i in range(n)}
+        result = run_byzantine_agreement(
+            small_config(n, seed=5), inputs,
+            behaviors={2: TamperAdversary()},
+        )
+        honest = result.honest_outputs({2})
+        assert set(honest.values()) == {"v"}
+
+    def test_agreement_under_selective_omission(self):
+        n = 9
+        inputs = {i: i % 3 for i in range(n)}
+        result = run_byzantine_agreement(
+            small_config(n, seed=6), inputs,
+            behaviors={0: SelectiveOmission(victims=set(range(1, 6)))},
+        )
+        honest = result.honest_outputs({0})
+        assert len(set(honest.values())) == 1
+
+    def test_median_rule_for_numeric_agreement(self):
+        n = 5
+        inputs = {0: 10, 1: 20, 2: 30, 3: 40, 4: 50}
+        result = run_byzantine_agreement(
+            small_config(n, seed=7), inputs, rule=median_rule()
+        )
+        assert set(result.outputs.values()) == {30}
+
+    @given(
+        st.integers(min_value=3, max_value=9),
+        st.integers(min_value=0, max_value=1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_agreement_property(self, n, seed):
+        rng_inputs = {i: (i * seed) % 3 for i in range(n)}
+        byzantine = {n - 1: DelayAdversary(1 + seed % 3)} if n >= 5 else None
+        result = run_byzantine_agreement(
+            small_config(n, seed=seed), rng_inputs, behaviors=byzantine
+        )
+        honest = result.honest_outputs(set(byzantine or ()))
+        assert len(set(honest.values())) == 1

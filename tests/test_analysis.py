@@ -1,0 +1,187 @@
+"""Analysis helpers: complexity formulas against measured runs, bias
+estimator, cluster math (Lemmas F.1/F.2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bias import (
+    empirical_bias,
+    standard_test_sets,
+    uniformity_chi_square,
+)
+from repro.analysis.cluster import (
+    cluster_quality_prob,
+    expected_cluster_size,
+    recommended_gamma,
+    second_cluster_expectation,
+)
+from repro.analysis.complexity import (
+    TABLE1_FORMULAS,
+    TABLE2_FORMULAS,
+    erb_bytes_honest,
+    erb_messages_honest,
+    erb_rounds,
+    erng_opt_rounds,
+    erng_unopt_messages_honest,
+    rb_early_messages,
+    rb_sig_bytes,
+    sampled_cluster_expectations,
+)
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.core.erb import run_erb
+from repro.core.erng import run_erng
+
+from tests.conftest import small_config
+
+
+class TestComplexityFormulas:
+    def test_erb_rounds_honest(self):
+        assert erb_rounds(f=0, t=10) == 2
+        assert erb_rounds(f=3, t=10, honest_initiator=True) == 2
+
+    def test_erb_rounds_byzantine(self):
+        assert erb_rounds(f=3, t=10) == 5
+        assert erb_rounds(f=20, t=10) == 12  # capped at t+2
+
+    def test_erb_message_formula_matches_simulation(self):
+        for n in (4, 8, 12):
+            measured = run_erb(small_config(n, seed=n), 0, b"x")
+            assert measured.traffic.messages_sent == erb_messages_honest(n)
+
+    def test_erng_message_formula_matches_simulation(self):
+        for n in (4, 6):
+            measured = run_erng(small_config(n, seed=n))
+            assert measured.traffic.messages_sent == erng_unopt_messages_honest(n)
+
+    def test_erb_bytes_order_of_magnitude(self):
+        # Th and Ex should agree within the size-calibration slack.
+        for n in (8, 16):
+            measured = run_erb(small_config(n, seed=1), 0, b"0123456789abcdef")
+            predicted = erb_bytes_honest(n)
+            assert 0.5 < measured.traffic.bytes_sent / predicted < 2.0
+
+    def test_quadratic_and_cubic_growth(self):
+        assert erb_bytes_honest(200) / erb_bytes_honest(100) == pytest.approx(
+            4.0, rel=0.05
+        )
+        assert erng_unopt_messages_honest(200) / erng_unopt_messages_honest(
+            100
+        ) == pytest.approx(8.0, rel=0.05)
+
+    def test_paper_headline_number(self):
+        # Section 6.1: 277 MB at N = 1024 — we should land in that decade.
+        predicted_mb = erb_bytes_honest(1024) / (1024 * 1024)
+        assert 90 < predicted_mb < 600
+
+    def test_rb_baseline_formulas_positive_and_monotone(self):
+        assert rb_sig_bytes(16) > rb_sig_bytes(8) > 0
+        assert rb_early_messages(10, 3) == 3 * 10 * 9
+
+    def test_erng_opt_rounds(self):
+        assert erng_opt_rounds(10) == 15
+
+    def test_sampled_expectations(self):
+        expectations = sampled_cluster_expectations(1024, 10)
+        assert expectations["cluster_size"] == pytest.approx(20.0, rel=0.3)
+        assert expectations["initiators"] < expectations["cluster_size"]
+
+    def test_table_formulas_complete(self):
+        assert "ERB" in TABLE1_FORMULAS
+        assert TABLE1_FORMULAS["ERB"]["rounds"] == "min{f+2, t+2}"
+        assert set(TABLE2_FORMULAS) == {
+            "AS [20]", "AD14 [19]", "Basic ERNG", "Optimized ERNG"
+        }
+
+
+class TestBiasEstimator:
+    def test_uniform_samples_near_one(self):
+        rng = DeterministicRNG("uniform")
+        samples = [rng.randbits(16) for _ in range(4000)]
+        assert empirical_bias(samples, 16)["beta"] < 1.15
+
+    def test_constant_samples_heavily_biased(self):
+        report = empirical_bias([0] * 1000, 16)
+        assert report["beta"] > 10
+
+    def test_lsb_biased_source_detected(self):
+        rng = DeterministicRNG("lsb")
+        samples = [rng.randbits(16) | 1 for _ in range(2000)]  # always odd
+        report = empirical_bias(samples, 16)
+        assert report["bit0"] > 1.5
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            empirical_bias([], 16)
+
+    def test_standard_test_sets_shapes(self):
+        tests = standard_test_sets(16)
+        names = [name for name, _, _ in tests]
+        assert "parity" in names and "high-half" in names
+
+    def test_chi_square_uniform_passes(self):
+        rng = DeterministicRNG("chi")
+        samples = [rng.randbits(12) for _ in range(4000)]
+        stat, critical = uniformity_chi_square(samples, 12)
+        assert stat < critical
+
+    def test_chi_square_skew_fails(self):
+        samples = [0] * 1000 + [4095] * 10
+        stat, critical = uniformity_chi_square(samples, 12)
+        assert stat > critical
+
+    def test_chi_square_validation(self):
+        with pytest.raises(ConfigurationError):
+            uniformity_chi_square([1], 8, buckets=1)
+        with pytest.raises(ConfigurationError):
+            uniformity_chi_square([], 8)
+
+    @given(st.integers(min_value=2, max_value=20))
+    @settings(max_examples=20)
+    def test_mod3_density_exact(self, k):
+        from repro.analysis.bias import _mod3_density
+
+        count = sum(1 for x in range(1 << k) if x % 3 == 0) if k <= 14 else None
+        if count is not None:
+            assert _mod3_density(k) == count / (1 << k)
+
+
+class TestClusterMath:
+    def test_quality_improves_with_gamma(self):
+        low = cluster_quality_prob(3000, 1000, 4)["both"]
+        high = cluster_quality_prob(3000, 1000, 12)["both"]
+        assert high > low
+
+    def test_quality_probabilities_valid(self):
+        quality = cluster_quality_prob(600, 200, 8)
+        for key in ("honest_gt_gamma", "byzantine_lt_gamma", "both"):
+            assert 0.0 <= quality[key] <= 1.0
+
+    def test_lemma_f1_high_probability_regime(self):
+        # Large N, t = N/3, sizeable gamma: failure prob should be small
+        # (the Lemma F.1 tails shrink like exp(-Θ(γ))).
+        quality = cluster_quality_prob(30000, 10000, 64)
+        assert quality["both"] > 0.95
+
+    def test_expected_cluster_size_near_2gamma(self):
+        assert expected_cluster_size(1024, 8) == pytest.approx(16.0, rel=0.1)
+
+    def test_second_cluster_shrinks(self):
+        assert second_cluster_expectation(20.0, 9) == pytest.approx(20 / 3)
+
+    def test_recommended_gamma_monotone_need(self):
+        gamma = recommended_gamma(20000, failure_target=1e-3)
+        assert gamma >= 2
+        quality = cluster_quality_prob(20000, 20000 // 3, gamma)
+        assert 1 - quality["both"] <= 1e-3
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            cluster_quality_prob(10, 20, 4)
+        with pytest.raises(ConfigurationError):
+            cluster_quality_prob(10, 3, 0)

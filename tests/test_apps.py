@@ -1,0 +1,229 @@
+"""Appendix H applications: beacon, random walk, shared keys, load
+balancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import DelayAdversary
+from repro.apps.beacon import BeaconRecord, RandomBeacon
+from repro.apps.load_balancer import (
+    PregeneratedRandomness,
+    RandomizedLoadBalancer,
+)
+from repro.apps.random_walk import RandomWalk
+from repro.apps.shared_key import GroupKeyAgreement, derive_group_key
+from repro.common.errors import ConfigurationError, IntegrityError, ProtocolError
+from repro.common.rng import DeterministicRNG
+from repro.net.topology import Topology
+
+
+class TestBeacon:
+    def test_chain_grows_and_verifies(self):
+        beacon = RandomBeacon(n=5, seed=1)
+        for _ in range(3):
+            beacon.next_beacon()
+        assert len(beacon.log) == 3
+        assert RandomBeacon.verify_chain(beacon.log)
+
+    def test_epochs_differ(self):
+        beacon = RandomBeacon(n=5, seed=2)
+        values = {beacon.next_beacon().value for _ in range(4)}
+        assert len(values) == 4
+
+    def test_tampered_chain_detected(self):
+        beacon = RandomBeacon(n=5, seed=3)
+        for _ in range(3):
+            beacon.next_beacon()
+        from dataclasses import replace
+
+        forged = list(beacon.log)
+        forged[1] = replace(forged[1], value=forged[1].value ^ 1)
+        assert not RandomBeacon.verify_chain(forged)
+
+    def test_reordered_chain_detected(self):
+        beacon = RandomBeacon(n=5, seed=4)
+        for _ in range(3):
+            beacon.next_beacon()
+        assert not RandomBeacon.verify_chain(list(reversed(beacon.log)))
+
+    def test_beacon_with_byzantine_participant(self):
+        beacon = RandomBeacon(
+            n=7, seed=5, behaviors={0: DelayAdversary(2)}
+        )
+        record = beacon.next_beacon()
+        assert isinstance(record.value, int)
+        assert RandomBeacon.verify_chain(beacon.log)
+
+    def test_optimized_backend(self):
+        from repro.core.erng_optimized import ClusterConfig
+
+        beacon = RandomBeacon(
+            n=24, t=8, optimized=True,
+            cluster=ClusterConfig(mode="fixed_fraction"), seed=6,
+        )
+        record = beacon.next_beacon()
+        assert isinstance(record.value, int)
+
+    def test_record_digest_deterministic(self):
+        digest1 = BeaconRecord.compute_digest(0, 42, b"prev")
+        digest2 = BeaconRecord.compute_digest(0, 42, b"prev")
+        assert digest1 == digest2
+        assert BeaconRecord.compute_digest(1, 42, b"prev") != digest1
+
+
+class TestRandomWalk:
+    def _topology(self):
+        return Topology.random_regular(24, 4, DeterministicRNG("walk-topo"))
+
+    def test_walk_follows_edges(self):
+        topo = self._topology()
+        walk = RandomWalk(topo, beacon_value=12345)
+        path = walk.run(start=0, steps=20)
+        assert path[0] == 0 and len(path) == 21
+        for a, b in zip(path, path[1:]):
+            assert topo.are_connected(a, b)
+
+    def test_walk_verifiable(self):
+        walk = RandomWalk(self._topology(), beacon_value=999)
+        path = walk.run(start=3, steps=10, walk_id="w1")
+        assert walk.verify(3, path, walk_id="w1")
+        assert not walk.verify(3, path[:-1] + [path[-1] ^ 1], walk_id="w1")
+
+    def test_different_walk_ids_diverge(self):
+        walk = RandomWalk(self._topology(), beacon_value=7)
+        assert walk.run(0, 15, walk_id=1) != walk.run(0, 15, walk_id=2)
+
+    def test_same_beacon_same_walk(self):
+        topo = self._topology()
+        a = RandomWalk(topo, beacon_value=5).run(0, 15)
+        b = RandomWalk(topo, beacon_value=5).run(0, 15)
+        assert a == b
+
+    def test_endpoint_distribution_mixes(self):
+        topo = Topology.full_mesh(10)
+        walk = RandomWalk(topo, beacon_value=31337)
+        counts = walk.endpoint_distribution(start=0, steps=8, walks=600)
+        # On a complete graph the endpoint is near-uniform: every node
+        # should be hit, none should dominate.
+        assert all(count > 0 for count in counts)
+        assert max(counts) < 4 * min(counts)
+
+    def test_bad_inputs(self):
+        walk = RandomWalk(self._topology(), beacon_value=1)
+        with pytest.raises(ConfigurationError):
+            walk.run(start=99, steps=5)
+        with pytest.raises(ConfigurationError):
+            walk.run(start=0, steps=-1)
+
+
+class TestSharedKey:
+    def test_all_honest_nodes_same_key(self):
+        keys = GroupKeyAgreement(n=5, seed=1).agree("session-1")
+        assert len(set(keys.values())) == 1
+        assert len(next(iter(keys.values()))) == 32
+
+    def test_context_separation(self):
+        value = 123456789
+        assert derive_group_key(value, "a") != derive_group_key(value, "b")
+
+    def test_value_separation(self):
+        assert derive_group_key(1, "ctx") != derive_group_key(2, "ctx")
+
+    def test_short_keys_refused(self):
+        with pytest.raises(ProtocolError):
+            derive_group_key(1, "ctx", length=8)
+
+    def test_agreement_with_byzantine(self):
+        keys = GroupKeyAgreement(
+            n=7, seed=2, behaviors={0: DelayAdversary(3)}
+        ).agree("session-2")
+        assert len(set(keys.values())) == 1
+        assert 0 not in keys  # byzantine node excluded from the view
+
+
+class TestLoadBalancer:
+    def test_assignment_deterministic_across_peers(self):
+        a = RandomizedLoadBalancer(["w1", "w2", "w3"], beacon_value=42)
+        b = RandomizedLoadBalancer(["w1", "w2", "w3"], beacon_value=42)
+        for i in range(50):
+            assert a.assign(f"task-{i}") == b.assign(f"task-{i}")
+
+    def test_different_beacons_shuffle(self):
+        a = RandomizedLoadBalancer(["w1", "w2", "w3", "w4"], beacon_value=1)
+        b = RandomizedLoadBalancer(["w1", "w2", "w3", "w4"], beacon_value=2)
+        assignments_a = [a.assign(f"t{i}") for i in range(40)]
+        assignments_b = [b.assign(f"t{i}") for i in range(40)]
+        assert assignments_a != assignments_b
+
+    def test_roughly_fair(self):
+        balancer = RandomizedLoadBalancer(
+            [f"w{i}" for i in range(4)], beacon_value=7
+        )
+        histogram = balancer.assignment_histogram(800)
+        assert all(100 < count < 300 for count in histogram.values())
+
+    def test_failure_migrates_only_failed_workers_tasks(self):
+        balancer = RandomizedLoadBalancer(["a", "b", "c"], beacon_value=9)
+        before = {f"t{i}": balancer.assign(f"t{i}") for i in range(60)}
+        balancer.mark_failed("b")
+        after = {f"t{i}": balancer.assign(f"t{i}") for i in range(60)}
+        for task, worker in before.items():
+            if worker != "b":
+                assert after[task] == worker  # rendezvous stability
+            else:
+                assert after[task] != "b"
+
+    def test_recovery(self):
+        balancer = RandomizedLoadBalancer(["a", "b"], beacon_value=1)
+        balancer.mark_failed("a")
+        balancer.mark_recovered("a")
+        assert balancer.assignment_histogram(100)["a"] > 0
+
+    def test_all_failed_rejected(self):
+        balancer = RandomizedLoadBalancer(["a"], beacon_value=1)
+        balancer.mark_failed("a")
+        with pytest.raises(ConfigurationError):
+            balancer.assign("t")
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomizedLoadBalancer([], beacon_value=1)
+        with pytest.raises(ConfigurationError):
+            RandomizedLoadBalancer(["a", "a"], beacon_value=1)
+        with pytest.raises(ConfigurationError):
+            RandomizedLoadBalancer(["a"], beacon_value=1).mark_failed("zz")
+
+
+class TestPregeneratedRandomness:
+    def test_seal_unseal_roundtrip(self):
+        rng = DeterministicRNG("pool")
+        pre = PregeneratedRandomness(b"platform", b"measurement")
+        sealed = pre.generate_and_seal(count=10, bits=32, rng=rng)
+        pool = pre.unseal_pool(sealed)
+        assert pool.remaining == 10
+        values = [pool.draw() for _ in range(10)]
+        assert len(set(values)) > 1
+
+    def test_pool_exhaustion(self):
+        rng = DeterministicRNG("pool2")
+        pre = PregeneratedRandomness(b"p", b"m")
+        pool = pre.unseal_pool(pre.generate_and_seal(2, 16, rng))
+        pool.draw()
+        pool.draw()
+        with pytest.raises(ConfigurationError):
+            pool.draw()
+
+    def test_wrong_program_cannot_unseal(self):
+        rng = DeterministicRNG("pool3")
+        sealed = PregeneratedRandomness(b"p", b"m1").generate_and_seal(
+            4, 16, rng
+        )
+        with pytest.raises(IntegrityError):
+            PregeneratedRandomness(b"p", b"m2").unseal_pool(sealed)
+
+    def test_count_validation(self):
+        with pytest.raises(ConfigurationError):
+            PregeneratedRandomness(b"p", b"m").generate_and_seal(
+                0, 16, DeterministicRNG(0)
+            )

@@ -1,0 +1,168 @@
+"""Baselines: RBsig (Algorithm 4) and RBearly (Algorithm 5), plus the
+Appendix B efficiency comparison against ERB."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import DelayAdversary, SelectiveOmission
+from repro.baselines.rb_early import run_rb_early
+from repro.baselines.rb_sig import KeyRegistry, run_rb_sig
+from repro.common.types import MessageType
+from repro.core.erb import run_erb
+
+from tests.conftest import small_config
+
+
+class TestRbSigHonest:
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_validity(self, n):
+        result, _ = run_rb_sig(small_config(n, seed=n), 0, "value")
+        assert set(result.outputs.values()) == {"value"}
+
+    def test_runs_full_t_plus_one_rounds(self):
+        # No early stopping in the signature-chain protocol.
+        config = small_config(9, seed=1)
+        result, _ = run_rb_sig(config, 0, "v")
+        assert result.rounds_executed == config.t + 1
+
+    def test_real_signatures_verify(self):
+        result, registry = run_rb_sig(
+            small_config(4, seed=2), 0, "signed", real_signatures=True
+        )
+        assert set(result.outputs.values()) == {"signed"}
+        assert registry.verifications > 0
+
+    def test_verification_work_grows_with_n(self):
+        _, small_reg = run_rb_sig(small_config(4, seed=3), 0, "v")
+        _, large_reg = run_rb_sig(small_config(8, seed=3), 0, "v")
+        assert large_reg.verifications > small_reg.verifications
+
+    def test_signed_messages_carry_chains(self):
+        result, _ = run_rb_sig(small_config(5, seed=4), 0, "v")
+        by_type = result.traffic.messages_by_type
+        assert by_type[MessageType.SIGNED] > 0
+        assert by_type[MessageType.ACK] == 0  # classic protocol: no ACKs
+
+
+class TestRbSigAdversarial:
+    def test_silent_initiator_yields_bottom(self):
+        result, _ = run_rb_sig(
+            small_config(7, seed=5), 0, "v",
+            behaviors={0: SelectiveOmission(victims=set(range(1, 7)))},
+        )
+        honest = result.honest_outputs({0})
+        assert set(honest.values()) == {None}
+
+    def test_partial_omission_still_agrees(self):
+        result, _ = run_rb_sig(
+            small_config(7, seed=6), 0, "v",
+            behaviors={0: SelectiveOmission(victims={1, 2})},
+        )
+        honest = result.honest_outputs({0})
+        assert len(set(honest.values())) == 1
+
+
+class TestRbSigForgeryResistance:
+    def test_chain_with_duplicate_signers_rejected(self):
+        registry = KeyRegistry(4, real_signatures=False)
+        from repro.baselines.rb_sig import RbSigProgram, _chain_material
+
+        program = RbSigProgram(3, 0, 4, 1, registry)
+        chain = (
+            registry.sign(0, _chain_material(0, "m", ())),
+            registry.sign(0, _chain_material(0, "m", (0,))),
+        )
+        assert not program._chain_valid("m", chain, rnd=2)
+
+    def test_chain_not_from_initiator_rejected(self):
+        registry = KeyRegistry(4, real_signatures=False)
+        from repro.baselines.rb_sig import RbSigProgram, _chain_material
+
+        program = RbSigProgram(3, 0, 4, 1, registry)
+        chain = (registry.sign(1, _chain_material(0, "m", ())),)
+        assert not program._chain_valid("m", chain, rnd=1)
+
+    def test_real_signature_forgery_rejected(self):
+        registry = KeyRegistry(4, seed=9, real_signatures=True)
+        from repro.baselines.rb_sig import RbSigProgram, _chain_material
+
+        program = RbSigProgram(3, 0, 4, 1, registry)
+        # Signature by key 1 presented as key 0's: must fail.
+        entry = registry.sign(1, _chain_material(0, "m", ()))
+        forged = (0, entry[1], entry[2])
+        assert not program._chain_valid("m", (forged,), rnd=1)
+
+    def test_wrong_length_chain_rejected(self):
+        registry = KeyRegistry(4, real_signatures=False)
+        from repro.baselines.rb_sig import RbSigProgram, _chain_material
+
+        program = RbSigProgram(3, 0, 4, 1, registry)
+        chain = (registry.sign(0, _chain_material(0, "m", ())),)
+        assert not program._chain_valid("m", chain, rnd=2)  # needs 2 sigs
+
+
+class TestRbEarly:
+    @pytest.mark.parametrize("n", [3, 5, 9])
+    def test_validity(self, n):
+        result = run_rb_early(small_config(n, seed=n), 0, "value")
+        assert set(result.outputs.values()) == {"value"}
+
+    def test_two_rounds_honest(self):
+        result = run_rb_early(small_config(9, seed=1), 0, "v")
+        assert result.rounds_executed == 2
+
+    def test_liveness_broadcast_every_round(self):
+        n = 6
+        result = run_rb_early(small_config(n, seed=2), 0, "v")
+        # Round 1: n broadcasters; round 2: the n-1 non-initiators relay.
+        assert result.traffic.messages_by_type[MessageType.VALUE] == (
+            n * (n - 1) + (n - 1) * (n - 1)
+        )
+
+    def test_silent_initiator_bottom_with_early_stop(self):
+        config = small_config(9, seed=3)
+        result = run_rb_early(
+            config, 0, "v",
+            behaviors={0: SelectiveOmission(victims=set(range(1, 9)))},
+        )
+        honest = result.honest_outputs({0})
+        assert set(honest.values()) == {None}
+        # Early stopping: decided well before t+1 (one fault observed).
+        assert result.rounds_executed < config.t + 1
+
+    def test_delayed_initiator_agreement(self):
+        result = run_rb_early(
+            small_config(9, seed=4), 0, "v", behaviors={0: DelayAdversary(2)}
+        )
+        honest = result.honest_outputs({0})
+        assert len(set(honest.values())) == 1
+
+
+class TestAppendixBComparison:
+    """ERB's O(N^2) vs the baselines' O(N^3) liveness/signature costs."""
+
+    def test_erb_cheaper_than_rb_early_with_faults(self):
+        # With a delaying fault the early-stopping baseline keeps paying
+        # its every-round liveness broadcasts while ERB does not.
+        config_kwargs = dict(seed=5)
+        n = 15
+        behaviors = lambda: {1: DelayAdversary(3)}
+        erb = run_erb(
+            small_config(n, **config_kwargs), 0, b"v", behaviors=behaviors()
+        )
+        early = run_rb_early(
+            small_config(n, **config_kwargs), 0, b"v", behaviors=behaviors()
+        )
+        assert erb.traffic.messages_sent < early.traffic.messages_sent * 2
+
+    def test_erb_bytes_beat_rbsig_bytes(self):
+        # Signature chains (192 B each) dominate RBsig's traffic.
+        n = 10
+        erb = run_erb(small_config(n, seed=6), 0, b"v")
+        rbsig, _ = run_rb_sig(small_config(n, seed=6), 0, b"v")
+        assert erb.traffic.bytes_sent < rbsig.traffic.bytes_sent
+
+    def test_erb_avoids_signature_verification_entirely(self):
+        _, registry = run_rb_sig(small_config(8, seed=7), 0, b"v")
+        assert registry.verifications > 0  # the cost ERB never pays

@@ -1,0 +1,161 @@
+"""Unit tests for the OS-behaviour building blocks themselves."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    CompositeBehavior,
+    DelayAdversary,
+    OSBehavior,
+    PassthroughBehavior,
+    RandomOmission,
+    ReplayAdversary,
+    SelectiveOmission,
+    TamperAdversary,
+)
+from repro.channel.peer_channel import WireMessage
+from repro.common.errors import IntegrityError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import MessageType
+
+
+def _wire(sender=0, receiver=1, counter=1):
+    return WireMessage(
+        sender=sender, receiver=receiver, counter=counter, size=100,
+        mtype=MessageType.ECHO,
+    )
+
+
+class TestBaseBehavior:
+    def test_default_is_faithful(self):
+        behavior = OSBehavior()
+        wire = _wire()
+        assert list(behavior.filter_send(wire, 1)) == [(0, wire)]
+        assert behavior.filter_receive(wire, 1)
+        assert list(behavior.drain_injections(1)) == []
+
+    def test_passthrough_identical(self):
+        behavior = PassthroughBehavior()
+        wire = _wire()
+        assert list(behavior.filter_send(wire, 3)) == [(0, wire)]
+
+
+class TestDelayAdversary:
+    def test_delay_amount(self):
+        wire = _wire()
+        assert list(DelayAdversary(3).filter_send(wire, 1)) == [(3, wire)]
+
+    def test_zero_delay_allowed(self):
+        wire = _wire()
+        assert list(DelayAdversary(0).filter_send(wire, 1)) == [(0, wire)]
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DelayAdversary(-1)
+
+
+class TestReplayAdversary:
+    def test_stores_and_reinjects(self):
+        adversary = ReplayAdversary(replay_after_rounds=2, burst=10)
+        wire = _wire()
+        assert list(adversary.filter_send(wire, 1)) == [(0, wire)]
+        assert list(adversary.drain_injections(2)) == []
+        ready = list(adversary.drain_injections(3))
+        assert ready == [(0, wire)]
+        assert adversary.replays_sent == 1
+
+    def test_burst_limit(self):
+        adversary = ReplayAdversary(replay_after_rounds=1, burst=2)
+        wires = [_wire(counter=i) for i in range(5)]
+        for wire in wires:
+            adversary.filter_send(wire, 1)
+        assert len(list(adversary.drain_injections(2))) == 2
+        assert len(list(adversary.drain_injections(2))) == 2
+        assert len(list(adversary.drain_injections(2))) == 1
+
+
+class TestTamperAdversary:
+    def test_tampers_everything_by_default(self):
+        adversary = TamperAdversary()
+        wire = _wire()
+        [(delay, out)] = list(adversary.filter_send(wire, 1))
+        assert delay == 0 and out.tampered and out is not wire
+        assert adversary.tampered_count == 1
+
+    def test_type_filter(self):
+        adversary = TamperAdversary(tamper_types={MessageType.INIT})
+        echo = _wire()
+        [(_, out)] = list(adversary.filter_send(echo, 1))
+        assert out is echo  # ECHO untouched
+        init = WireMessage(
+            sender=0, receiver=1, counter=2, size=100, mtype=MessageType.INIT
+        )
+        [(_, out)] = list(adversary.filter_send(init, 1))
+        assert out.tampered
+
+    def test_tampered_sealed_copy_differs(self):
+        wire = WireMessage(
+            sender=0, receiver=1, counter=1, size=50, sealed=b"\x01" * 50
+        )
+        copy = wire.tampered_copy()
+        assert copy.sealed != wire.sealed
+        assert copy.tampered
+
+
+class TestComposite:
+    def test_requires_stage(self):
+        with pytest.raises(ValueError):
+            CompositeBehavior([])
+
+    def test_delays_accumulate(self):
+        composite = CompositeBehavior([DelayAdversary(1), DelayAdversary(2)])
+        wire = _wire()
+        [(delay, out)] = list(composite.filter_send(wire, 1))
+        assert delay == 3 and out is wire
+
+    def test_drop_shortcircuits(self):
+        composite = CompositeBehavior(
+            [SelectiveOmission(victims={1}), DelayAdversary(5)]
+        )
+        assert list(composite.filter_send(_wire(receiver=1), 1)) == []
+
+    def test_receive_all_stages_must_accept(self):
+        composite = CompositeBehavior(
+            [PassthroughBehavior(), SelectiveOmission(victims={9}, omit_sends=False, omit_receives=True)]
+        )
+        assert composite.filter_receive(_wire(sender=3), 1)
+        assert not composite.filter_receive(_wire(sender=9), 1)
+
+    def test_injections_merged(self):
+        composite = CompositeBehavior(
+            [
+                ReplayAdversary(replay_after_rounds=1),
+                ReplayAdversary(replay_after_rounds=1),
+            ]
+        )
+        composite.filter_send(_wire(), 1)
+        assert len(list(composite.drain_injections(2))) == 2
+
+
+class TestRandomOmissionDistribution:
+    @given(st.integers(min_value=0, max_value=50))
+    @settings(max_examples=20)
+    def test_drop_rate_tracks_probability(self, seed):
+        adversary = RandomOmission(
+            DeterministicRNG(("drop", seed)), send_drop_p=0.5
+        )
+        kept = sum(
+            1 for i in range(200)
+            if list(adversary.filter_send(_wire(counter=i), 1))
+        )
+        assert 60 <= kept <= 140  # Binomial(200, .5) tail bound
+
+    def test_zero_probability_never_drops(self):
+        adversary = RandomOmission(DeterministicRNG(0), send_drop_p=0.0)
+        assert all(
+            list(adversary.filter_send(_wire(counter=i), 1))
+            for i in range(50)
+        )

@@ -1,0 +1,85 @@
+"""Fuzzing the blinded channel: attacker-controlled bytes must fail
+closed — a clean IntegrityError/ReplayError, never a crash or a bogus
+accept."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channel.peer_channel import SecureChannel
+from repro.common.config import ChannelSecurity
+from repro.common.errors import CryptoError, IntegrityError, ReplayError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import MessageType, ProtocolMessage
+from repro.crypto.dh import MODP_768
+from repro.sgx.attestation import AttestationAuthority
+from repro.sgx.enclave import Enclave
+from repro.sgx.program import EnclaveProgram
+from repro.sgx.trusted_time import SimulationClock
+
+
+class _FuzzProto(EnclaveProgram):
+    PROGRAM_NAME = "fuzz-proto"
+
+
+def _setup():
+    rng = DeterministicRNG("fuzz")
+    clock = SimulationClock()
+    authority = AttestationAuthority(rng)
+    a = Enclave(0, _FuzzProto(), rng, clock, authority)
+    b = Enclave(1, _FuzzProto(), rng, clock, authority)
+    channel = SecureChannel.establish(a, b, ChannelSecurity.FULL, MODP_768)
+    return a, b, channel
+
+
+_A, _B, _CHANNEL = _setup()
+_MESSAGE = ProtocolMessage(MessageType.INIT, 0, 1, b"payload", 1, "fuzz")
+
+
+class TestCiphertextFuzz:
+    @given(st.binary(min_size=0, max_size=200))
+    @settings(max_examples=150)
+    def test_random_bytes_rejected(self, noise):
+        wire = _CHANNEL.write(0, _MESSAGE, _A.rdrand.rng(), _A.measurement)
+        forged = replace(wire, sealed=noise)
+        with pytest.raises(CryptoError):
+            _CHANNEL.read(1, forged)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=0, max_value=255),
+    )
+    @settings(max_examples=150)
+    def test_single_byte_corruption_rejected(self, position, xor):
+        wire = _CHANNEL.write(0, _MESSAGE, _A.rdrand.rng(), _A.measurement)
+        body = bytearray(wire.sealed)
+        body[position % len(body)] ^= (xor or 1)
+        with pytest.raises(CryptoError):
+            _CHANNEL.read(1, replace(wire, sealed=bytes(body)))
+
+    @given(st.integers(min_value=1, max_value=60))
+    @settings(max_examples=50)
+    def test_truncation_rejected(self, cut):
+        wire = _CHANNEL.write(0, _MESSAGE, _A.rdrand.rng(), _A.measurement)
+        truncated = replace(wire, sealed=wire.sealed[:-cut])
+        with pytest.raises(CryptoError):
+            _CHANNEL.read(1, truncated)
+
+    def test_ciphertext_swap_between_directions_rejected(self):
+        # Direction binding: b->a ciphertext presented on the a->b path.
+        wire_ba = _CHANNEL.write(1, _MESSAGE, _B.rdrand.rng(), _B.measurement)
+        forged = replace(wire_ba, sender=0, receiver=1)
+        with pytest.raises(CryptoError):
+            _CHANNEL.read(1, forged)
+
+    def test_splice_two_valid_ciphertexts_rejected(self):
+        w1 = _CHANNEL.write(0, _MESSAGE, _A.rdrand.rng(), _A.measurement)
+        w2 = _CHANNEL.write(0, _MESSAGE, _A.rdrand.rng(), _A.measurement)
+        half = len(w1.sealed) // 2
+        spliced = replace(w1, sealed=w1.sealed[:half] + w2.sealed[half:])
+        with pytest.raises(CryptoError):
+            _CHANNEL.read(1, spliced)

@@ -1,0 +1,243 @@
+"""Multi-instance churn (end-to-end Appendix D) and dynamic membership
+(Appendix G, S1 relaxation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SimulationConfig
+from repro.common.errors import ConfigurationError, ProtocolError
+from repro.core.churn import ChurnDriver, IntermittentOmission
+from repro.core.erb import ErbProgram
+from repro.net.membership import MembershipDirectory, MembershipEvent, MembershipService
+from repro.net.simulator import SynchronousNetwork
+
+from tests.conftest import small_config
+
+
+class TestReplacePrograms:
+    def _factory(self, instance, initiator, n, t):
+        def factory(node_id):
+            return ErbProgram(
+                node_id=node_id, initiator=initiator, n=n, t=t,
+                seq=instance, instance=f"i{instance}",
+                message=f"m{instance}" if node_id == initiator else None,
+            )
+
+        return factory
+
+    def test_two_instances_same_network(self):
+        config = small_config(7, seed=1)
+        network = SynchronousNetwork(config, self._factory(1, 0, 7, 3))
+        first = network.run(max_rounds=config.t + 2)
+        assert set(first.outputs.values()) == {"m1"}
+        network.replace_programs(self._factory(2, 1, 7, 3))
+        second = network.run(max_rounds=config.t + 2)
+        assert set(second.outputs.values()) == {"m2"}
+
+    def test_halted_node_stays_out_across_instances(self):
+        from repro.adversary import SelectiveOmission
+
+        config = small_config(9, seed=2)
+        behaviors = {0: SelectiveOmission(victims=set(range(1, 8)))}
+        network = SynchronousNetwork(
+            config, self._factory(1, 0, 9, 4), behaviors
+        )
+        first = network.run(max_rounds=config.t + 2)
+        assert 0 in first.halted
+        network.replace_programs(self._factory(2, 1, 9, 4))
+        second = network.run(max_rounds=config.t + 2)
+        assert 0 in second.halted  # still dead — no rejoin (P6)
+        assert 0 not in second.outputs
+        honest = {k: v for k, v in second.outputs.items() if k != 0}
+        assert set(honest.values()) == {"m2"}
+
+    def test_stats_reset_per_instance(self):
+        config = small_config(5, seed=3)
+        network = SynchronousNetwork(config, self._factory(1, 0, 5, 2))
+        first = network.run(max_rounds=config.t + 2)
+        network.replace_programs(self._factory(2, 0, 5, 2))
+        second = network.run(max_rounds=config.t + 2)
+        assert first.traffic is not second.traffic
+        assert second.traffic.messages_sent == first.traffic.messages_sent
+
+    def test_different_program_class_rejected(self):
+        from repro.core.strawman import StrawmanBroadcastProgram
+
+        config = small_config(5, seed=4)
+        network = SynchronousNetwork(config, self._factory(1, 0, 5, 2))
+        network.run(max_rounds=2)
+        with pytest.raises(ConfigurationError, match="measurement"):
+            network.replace_programs(
+                lambda i: StrawmanBroadcastProgram(i, 0, 5, 2)
+            )
+
+    def test_cross_instance_replay_rejected(self):
+        """A5 across instances: wires captured in instance 1 and re-sent
+        in instance 2 die on the (persistent) channel counters."""
+        from repro.adversary.behaviors import OSBehavior
+
+        class CrossInstanceReplayer(OSBehavior):
+            def __init__(self):
+                self.stored = []
+                self.armed = False
+
+            def filter_send(self, wire, rnd):
+                self.stored.append(wire)
+                return ((0, wire),)
+
+            def drain_injections(self, rnd):
+                if not self.armed:
+                    return ()
+                batch, self.stored = self.stored, []
+                return tuple((0, wire) for wire in batch)
+
+        replayer = CrossInstanceReplayer()
+        config = small_config(7, seed=5)
+        network = SynchronousNetwork(
+            config, self._factory(1, 0, 7, 3), {2: replayer}
+        )
+        first = network.run(max_rounds=config.t + 2)
+        assert set(first.outputs.values()) == {"m1"}
+        assert len(replayer.stored) > 0
+
+        replayer.armed = True  # replay instance-1 traffic into instance 2
+        network.replace_programs(self._factory(2, 0, 7, 3))
+        second = network.run(max_rounds=config.t + 2)
+        assert set(second.outputs.values()) == {"m2"}
+        assert second.traffic.rejections > 0  # replays hit the guard
+
+    def test_sequence_numbers_separate_instances(self):
+        """A message legitimately delivered late cannot leak between
+        instances: instance 2 expects seq 2, instance-1 traffic has
+        seq 1."""
+        config = small_config(5, seed=6)
+        network = SynchronousNetwork(config, self._factory(1, 0, 5, 2))
+        network.run(max_rounds=config.t + 2)
+        # Same instance tag but stale sequence: receivers ignore it.
+        network.replace_programs(self._factory(2, 0, 5, 2))
+        result = network.run(max_rounds=config.t + 2)
+        assert set(result.outputs.values()) == {"m2"}
+
+
+class TestChurnDriver:
+    def test_trajectory_monotone_without_replacement(self):
+        driver = ChurnDriver(
+            small_config(11, seed=5), byzantine=[1, 3, 5],
+            misbehave_p=0.6, seed=6,
+        )
+        report = driver.run(10)
+        counts = report.live_byzantine
+        assert counts == sorted(counts, reverse=True)
+        assert counts[0] <= 3
+
+    def test_agreement_in_every_instance(self):
+        driver = ChurnDriver(
+            small_config(11, seed=7), byzantine=[2, 4],
+            misbehave_p=0.5, seed=8,
+        )
+        report = driver.run(8)
+        assert report.agreements_held == report.instances
+
+    def test_p_one_sanitizes_immediately(self):
+        driver = ChurnDriver(
+            small_config(9, seed=9), byzantine=[1, 2], misbehave_p=1.0,
+            seed=10,
+        )
+        report = driver.run(3)
+        assert report.live_byzantine[0] == 0
+        assert sorted(report.ejected_order) == [1, 2]
+
+    def test_p_zero_never_ejects(self):
+        driver = ChurnDriver(
+            small_config(9, seed=11), byzantine=[1, 2], misbehave_p=0.0,
+            seed=12,
+        )
+        report = driver.run(4)
+        assert report.live_byzantine == [2, 2, 2, 2]
+        assert report.ejected_order == []
+
+    def test_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnDriver(
+                small_config(5), byzantine=[0, 1, 2], misbehave_p=0.5
+            )
+        with pytest.raises(ConfigurationError):
+            ChurnDriver(small_config(5), byzantine=[0], misbehave_p=1.5)
+
+    def test_intermittent_behavior_passive_by_default(self):
+        behavior = IntermittentOmission(victims={1, 2})
+        from repro.channel.peer_channel import WireMessage
+
+        wire = WireMessage(sender=0, receiver=1, counter=1, size=10)
+        assert list(behavior.filter_send(wire, 1)) == [(0, wire)]
+        behavior.active = True
+        assert list(behavior.filter_send(wire, 1)) == []
+
+
+class TestMembershipDirectory:
+    def test_apply_join_and_leave(self):
+        directory = MembershipDirectory(members={0, 1})
+        directory.apply(MembershipEvent("join", 2, sponsor=0, version=1))
+        assert directory.members == {0, 1, 2}
+        directory.apply(MembershipEvent("leave", 0, sponsor=1, version=2))
+        assert directory.members == {1, 2}
+        assert directory.version == 2
+
+    def test_version_gap_rejected(self):
+        directory = MembershipDirectory(members={0})
+        with pytest.raises(ProtocolError, match="version"):
+            directory.apply(MembershipEvent("join", 1, sponsor=0, version=5))
+
+    def test_double_join_rejected(self):
+        directory = MembershipDirectory(members={0})
+        with pytest.raises(ProtocolError):
+            directory.apply(MembershipEvent("join", 0, sponsor=0, version=1))
+
+    def test_unknown_leave_rejected(self):
+        directory = MembershipDirectory(members={0})
+        with pytest.raises(ProtocolError):
+            directory.apply(MembershipEvent("leave", 7, sponsor=0, version=1))
+
+
+class TestMembershipService:
+    def test_join_updates_all_views(self):
+        service = MembershipService(initial_members=5, seed=1)
+        new = service.join(sponsor=2)
+        assert new == 5
+        assert service.members == (0, 1, 2, 3, 4, 5)
+        assert service.views_consistent()
+
+    def test_joiner_receives_full_history(self):
+        service = MembershipService(initial_members=4, seed=2)
+        service.join(sponsor=0)
+        service.join(sponsor=1)
+        newest = max(service.views)
+        assert len(service.views[newest].history) >= 1
+        assert service.views_consistent()
+
+    def test_leave(self):
+        service = MembershipService(initial_members=5, seed=3)
+        service.leave(3)
+        assert 3 not in service.members
+        assert service.views_consistent()
+
+    def test_interleaved_events(self):
+        service = MembershipService(initial_members=4, seed=4)
+        a = service.join(sponsor=0)
+        service.leave(1)
+        b = service.join(sponsor=a)
+        service.leave(a)
+        assert b in service.members
+        assert a not in service.members
+        assert service.views_consistent()
+
+    def test_non_member_sponsor_rejected(self):
+        service = MembershipService(initial_members=3, seed=5)
+        with pytest.raises(ConfigurationError):
+            service.join(sponsor=99)
+
+    def test_unknown_leave_rejected(self):
+        service = MembershipService(initial_members=3, seed=6)
+        with pytest.raises(ConfigurationError):
+            service.leave(42)

@@ -1,0 +1,322 @@
+"""Tests for the from-scratch crypto substrate (SKE, MAC, AEAD, DH,
+Schnorr, HKDF, hashing)."""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as stdlib_hmac
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import CryptoError, IntegrityError
+from repro.common.rng import DeterministicRNG
+from repro.crypto import mac, stream_cipher
+from repro.crypto.aead import AEAD, AeadKey
+from repro.crypto.dh import MODP_2048, MODP_768, DiffieHellman
+from repro.crypto.hashing import hash_bytes, hash_hex, hash_to_int
+from repro.crypto.kdf import hkdf, hkdf_expand, hkdf_extract
+from repro.crypto.schnorr import (
+    SchnorrSignature,
+    schnorr_keygen,
+    schnorr_verify,
+)
+
+
+def _rng(label="crypto-tests"):
+    return DeterministicRNG(label)
+
+
+class TestHashing:
+    def test_digest_size(self):
+        assert len(hash_bytes(b"x")) == 32
+
+    def test_domain_separation(self):
+        assert hash_bytes(b"x", "a") != hash_bytes(b"x", "b")
+        assert hash_bytes(b"x", "a") != hash_bytes(b"x")
+
+    def test_plain_hash_matches_sha256(self):
+        assert hash_bytes(b"data") == hashlib.sha256(b"data").digest()
+
+    def test_hash_hex(self):
+        assert hash_hex(b"x") == hash_bytes(b"x").hex()
+
+    def test_hash_to_int_range(self):
+        for modulus in (2, 17, 2**127 - 1):
+            assert 0 <= hash_to_int(b"seed", modulus) < modulus
+
+    def test_hash_to_int_invalid_modulus(self):
+        with pytest.raises(ValueError):
+            hash_to_int(b"x", 0)
+
+    def test_hash_to_int_deterministic(self):
+        assert hash_to_int(b"a", 1000) == hash_to_int(b"a", 1000)
+
+
+class TestMac:
+    def test_matches_stdlib_hmac(self):
+        key = b"k" * 32
+        for message in (b"", b"m", b"x" * 1000):
+            assert mac.mac_auth(key, message) == stdlib_hmac.new(
+                key, message, hashlib.sha256
+            ).digest()
+
+    def test_long_key_matches_stdlib(self):
+        key = b"K" * 100  # longer than the block size
+        assert mac.mac_auth(key, b"m") == stdlib_hmac.new(
+            key, b"m", hashlib.sha256
+        ).digest()
+
+    def test_verify_accepts_valid(self):
+        key = mac.mac_gen(_rng())
+        tag = mac.mac_auth(key, b"msg")
+        assert mac.mac_verify(key, b"msg", tag)
+
+    def test_verify_rejects_wrong_message(self):
+        key = mac.mac_gen(_rng())
+        tag = mac.mac_auth(key, b"msg")
+        assert not mac.mac_verify(key, b"other", tag)
+
+    def test_verify_rejects_wrong_key(self):
+        rng = _rng()
+        tag = mac.mac_auth(mac.mac_gen(rng), b"msg")
+        assert not mac.mac_verify(mac.mac_gen(rng), b"msg", tag)
+
+    def test_verify_rejects_truncated_tag(self):
+        key = mac.mac_gen(_rng())
+        tag = mac.mac_auth(key, b"msg")
+        assert not mac.mac_verify(key, b"msg", tag[:-1])
+
+    @given(st.binary(max_size=128), st.integers(min_value=0, max_value=255))
+    @settings(max_examples=100)
+    def test_single_bit_flips_rejected(self, message, flip_pos):
+        key = b"fixed-key-32-bytes-fixed-key-32b"
+        tag = bytearray(mac.mac_auth(key, message))
+        tag[flip_pos % len(tag)] ^= 1
+        assert not mac.mac_verify(key, message, bytes(tag))
+
+
+class TestStreamCipher:
+    def test_roundtrip(self):
+        rng = _rng()
+        key = stream_cipher.ske_gen(rng)
+        for plaintext in (b"", b"a", b"hello world", b"\x00" * 1000):
+            ct = stream_cipher.ske_encrypt(key, plaintext, rng)
+            assert stream_cipher.ske_decrypt(key, ct) == plaintext
+
+    def test_ciphertext_randomized(self):
+        rng = _rng()
+        key = stream_cipher.ske_gen(rng)
+        ct1 = stream_cipher.ske_encrypt(key, b"same", rng)
+        ct2 = stream_cipher.ske_encrypt(key, b"same", rng)
+        assert ct1 != ct2  # fresh nonce per encryption (CPA security)
+
+    def test_wrong_key_garbles(self):
+        rng = _rng()
+        key1 = stream_cipher.ske_gen(rng)
+        key2 = stream_cipher.ske_gen(rng)
+        ct = stream_cipher.ske_encrypt(key1, b"secret-secret", rng)
+        assert stream_cipher.ske_decrypt(key2, ct) != b"secret-secret"
+
+    def test_bad_key_size_rejected(self):
+        with pytest.raises(CryptoError):
+            stream_cipher.ske_encrypt(b"short", b"m", _rng())
+        with pytest.raises(CryptoError):
+            stream_cipher.ske_decrypt(b"short", b"x" * 20)
+
+    def test_short_ciphertext_rejected(self):
+        key = stream_cipher.ske_gen(_rng())
+        with pytest.raises(CryptoError):
+            stream_cipher.ske_decrypt(key, b"tiny")
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=100)
+    def test_roundtrip_property(self, plaintext):
+        rng = _rng(("ske", plaintext))
+        key = stream_cipher.ske_gen(rng)
+        assert (
+            stream_cipher.ske_decrypt(
+                key, stream_cipher.ske_encrypt(key, plaintext, rng)
+            )
+            == plaintext
+        )
+
+
+class TestAead:
+    def _box(self, label="aead"):
+        rng = _rng(label)
+        return AEAD(AeadKey.generate(rng)), rng
+
+    def test_roundtrip(self):
+        box, rng = self._box()
+        sealed = box.seal(b"payload", rng)
+        assert box.open(sealed) == b"payload"
+
+    def test_associated_data_binds(self):
+        box, rng = self._box()
+        sealed = box.seal(b"payload", rng, associated_data=b"ctx1")
+        with pytest.raises(IntegrityError):
+            box.open(sealed, associated_data=b"ctx2")
+
+    def test_tamper_detected(self):
+        box, rng = self._box()
+        sealed = bytearray(box.seal(b"payload", rng))
+        sealed[0] ^= 0xFF
+        with pytest.raises(IntegrityError):
+            box.open(bytes(sealed))
+
+    def test_tag_tamper_detected(self):
+        box, rng = self._box()
+        sealed = bytearray(box.seal(b"payload", rng))
+        sealed[-1] ^= 0x01
+        with pytest.raises(IntegrityError):
+            box.open(bytes(sealed))
+
+    def test_short_input_rejected(self):
+        box, _ = self._box()
+        with pytest.raises(IntegrityError):
+            box.open(b"short")
+
+    def test_cross_key_rejected(self):
+        box_a, rng = self._box("a")
+        box_b, _ = self._box("b")
+        with pytest.raises(IntegrityError):
+            box_b.open(box_a.seal(b"m", rng))
+
+    def test_overhead_constant(self):
+        box, rng = self._box()
+        for n in (0, 10, 100):
+            assert len(box.seal(b"x" * n, rng)) == n + AEAD.OVERHEAD
+
+    @given(st.binary(max_size=200), st.binary(max_size=32))
+    @settings(max_examples=75)
+    def test_roundtrip_property(self, plaintext, ad):
+        rng = _rng(("aead", plaintext, ad))
+        box = AEAD(AeadKey.generate(rng))
+        assert box.open(box.seal(plaintext, rng, ad), ad) == plaintext
+
+
+class TestDiffieHellman:
+    def test_shared_secret_agrees(self):
+        rng = _rng()
+        dh = DiffieHellman(rng, MODP_768)
+        alice = dh.generate_keypair()
+        bob = dh.generate_keypair()
+        assert dh.shared_secret(alice, bob.public) == dh.shared_secret(
+            bob, alice.public
+        )
+
+    def test_different_pairs_different_secrets(self):
+        rng = _rng()
+        dh = DiffieHellman(rng, MODP_768)
+        a, b, c = (dh.generate_keypair() for _ in range(3))
+        assert dh.shared_secret(a, b.public) != dh.shared_secret(a, c.public)
+
+    def test_malformed_public_rejected(self):
+        rng = _rng()
+        dh = DiffieHellman(rng, MODP_768)
+        pair = dh.generate_keypair()
+        for bad in (0, 1, MODP_768.prime - 1, MODP_768.prime):
+            with pytest.raises(CryptoError):
+                dh.shared_secret(pair, bad)
+
+    def test_secret_width_fixed(self):
+        rng = _rng()
+        dh = DiffieHellman(rng, MODP_768)
+        a = dh.generate_keypair()
+        b = dh.generate_keypair()
+        assert len(dh.shared_secret(a, b.public)) == MODP_768.byte_width
+
+    def test_2048_group_parameters(self):
+        # The RFC 3526 prime is a safe prime: (p-1)/2 must be odd.
+        assert MODP_2048.prime % 4 == 3
+        assert MODP_2048.prime.bit_length() == 2048
+        assert MODP_768.prime.bit_length() == 768
+
+
+class TestSchnorr:
+    def test_sign_verify(self):
+        rng = _rng()
+        pair = schnorr_keygen(rng)
+        sig = pair.sign(b"message", rng)
+        assert schnorr_verify(pair.group, pair.public, b"message", sig)
+
+    def test_wrong_message_rejected(self):
+        rng = _rng()
+        pair = schnorr_keygen(rng)
+        sig = pair.sign(b"message", rng)
+        assert not schnorr_verify(pair.group, pair.public, b"other", sig)
+
+    def test_wrong_key_rejected(self):
+        rng = _rng()
+        pair = schnorr_keygen(rng)
+        other = schnorr_keygen(rng)
+        sig = pair.sign(b"message", rng)
+        assert not schnorr_verify(other.group, other.public, b"message", sig)
+
+    def test_malleated_signature_rejected(self):
+        rng = _rng()
+        pair = schnorr_keygen(rng)
+        sig = pair.sign(b"message", rng)
+        bad = SchnorrSignature(e=sig.e ^ 1, s=sig.s)
+        assert not schnorr_verify(pair.group, pair.public, b"message", bad)
+        bad = SchnorrSignature(e=sig.e, s=sig.s + 1)
+        assert not schnorr_verify(pair.group, pair.public, b"message", bad)
+
+    def test_out_of_range_components_rejected(self):
+        rng = _rng()
+        pair = schnorr_keygen(rng)
+        q = pair.group.subgroup_order
+        assert not schnorr_verify(
+            pair.group, pair.public, b"m", SchnorrSignature(e=q, s=1)
+        )
+        assert not schnorr_verify(
+            pair.group, pair.public, b"m", SchnorrSignature(e=1, s=-1)
+        )
+
+    def test_signature_tuple_roundtrip(self):
+        sig = SchnorrSignature(e=123, s=456)
+        assert SchnorrSignature.from_tuple(sig.to_tuple()) == sig
+
+    def test_signatures_randomized(self):
+        rng = _rng()
+        pair = schnorr_keygen(rng)
+        assert pair.sign(b"m", rng) != pair.sign(b"m", rng)
+
+
+class TestHkdf:
+    def test_rfc5869_case_1(self):
+        # RFC 5869 Appendix A.1 test vector.
+        ikm = bytes.fromhex("0b" * 22)
+        salt = bytes.fromhex("000102030405060708090a0b0c")
+        info = bytes.fromhex("f0f1f2f3f4f5f6f7f8f9")
+        prk = hkdf_extract(salt, ikm)
+        assert prk == bytes.fromhex(
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        )
+        okm = hkdf_expand(prk, info, 42)
+        assert okm == bytes.fromhex(
+            "3cb25f25faacd57a90434f64d0362f2a"
+            "2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865"
+        )
+
+    def test_rfc5869_case_3_empty_salt_info(self):
+        # RFC 5869 Appendix A.3: zero-length salt and info.
+        ikm = bytes.fromhex("0b" * 22)
+        okm = hkdf(ikm, info=b"", length=42, salt=b"")
+        assert okm == bytes.fromhex(
+            "8da4e775a563c18f715f802a063c5a31"
+            "b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8"
+        )
+
+    def test_length_and_info_separation(self):
+        key1 = hkdf(b"secret", b"ctx1", 32)
+        key2 = hkdf(b"secret", b"ctx2", 32)
+        assert len(key1) == 32 and key1 != key2
+
+    def test_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            hkdf(b"x", b"info", 255 * 32 + 1)

@@ -1,0 +1,97 @@
+"""ERB (Algorithm 2) — honest-case behaviour and Definition 2.1 properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import MessageType
+from repro.core.erb import run_erb
+
+from tests.conftest import full_crypto_config, small_config
+
+
+class TestHonestBroadcast:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8, 17, 33])
+    def test_validity_all_sizes(self, n):
+        result = run_erb(small_config(n, seed=n), initiator=0, message=b"m")
+        assert set(result.outputs.values()) == {b"m"}
+        assert len(result.outputs) == n
+
+    @pytest.mark.parametrize("n", [3, 8, 16])
+    def test_terminates_in_two_rounds(self, n):
+        result = run_erb(small_config(n, seed=n), initiator=0, message=b"m")
+        assert result.rounds_executed == 2
+
+    def test_single_node_terminates_round_one(self):
+        result = run_erb(small_config(1), initiator=0, message="solo")
+        assert result.outputs == {0: "solo"}
+        assert result.rounds_executed == 1
+
+    def test_any_initiator_works(self):
+        for initiator in range(5):
+            result = run_erb(
+                small_config(5, seed=initiator), initiator=initiator, message=1
+            )
+            assert set(result.outputs.values()) == {1}
+
+    def test_no_halts_in_honest_run(self):
+        result = run_erb(small_config(12, seed=0), initiator=3, message=b"x")
+        assert result.halted == []
+
+    def test_message_counts_match_theory(self):
+        n = 10
+        result = run_erb(small_config(n, seed=0), initiator=0, message=b"x")
+        by_type = result.traffic.messages_by_type
+        assert by_type[MessageType.INIT] == n - 1
+        assert by_type[MessageType.ECHO] == (n - 1) ** 2
+        assert by_type[MessageType.ACK] == (n - 1) + (n - 1) ** 2
+
+    def test_traffic_quadratic_scaling(self):
+        small = run_erb(small_config(8, seed=0), 0, b"x").traffic.bytes_sent
+        large = run_erb(small_config(16, seed=0), 0, b"x").traffic.bytes_sent
+        # 2x nodes -> ~4x traffic (quadratic).
+        assert 3.0 < large / small < 5.0
+
+    def test_decided_rounds_all_two(self):
+        result = run_erb(small_config(9, seed=1), initiator=0, message=b"x")
+        assert set(result.decided_rounds.values()) == {2}
+
+    def test_deterministic_given_seed(self):
+        a = run_erb(small_config(8, seed=5), 0, b"x")
+        b = run_erb(small_config(8, seed=5), 0, b"x")
+        assert a.traffic.bytes_sent == b.traffic.bytes_sent
+        assert a.outputs == b.outputs
+
+    def test_payload_types(self):
+        for payload in (b"bytes", "string", 123456789, ("tuple", 1), None):
+            result = run_erb(small_config(4, seed=2), 0, payload)
+            assert set(result.outputs.values()) == {payload}
+
+    def test_bound_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_erb(SimulationConfig(n=4, t=2), initiator=0, message=b"x")
+
+
+class TestFullCryptoBroadcast:
+    """The same protocol over real blinded channels (byte-exact Fig. 4)."""
+
+    def test_validity(self):
+        result = run_erb(full_crypto_config(4, seed=1), 0, b"sealed")
+        assert set(result.outputs.values()) == {b"sealed"}
+        assert result.rounds_executed == 2
+
+    def test_full_and_modeled_agree_on_structure(self):
+        full = run_erb(full_crypto_config(4, seed=1), 0, b"m")
+        modeled = run_erb(small_config(4, seed=1), 0, b"m")
+        assert (
+            full.traffic.messages_by_type == modeled.traffic.messages_by_type
+        )
+        assert full.rounds_executed == modeled.rounds_executed
+
+    def test_full_crypto_traffic_larger(self):
+        # Real AEAD framing outweighs the modeled constant.
+        full = run_erb(full_crypto_config(4, seed=1), 0, b"m")
+        modeled = run_erb(small_config(4, seed=1), 0, b"m")
+        assert full.traffic.bytes_sent > modeled.traffic.bytes_sent

@@ -1,0 +1,200 @@
+"""ERB under every adversary class — the Definition 2.1 guarantees and the
+halt-on-divergence behaviour of Section 4.2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    CompositeBehavior,
+    DelayAdversary,
+    RandomOmission,
+    ReceiveOmission,
+    ReplayAdversary,
+    SelectiveOmission,
+    TamperAdversary,
+    chain_delay_strategy,
+)
+from repro.common.rng import DeterministicRNG
+from repro.core.erb import run_erb
+
+from tests.conftest import small_config
+
+
+def _honest_outputs(result, byzantine):
+    return result.honest_outputs(byzantine)
+
+
+def _assert_agreement(result, byzantine):
+    values = set(_honest_outputs(result, byzantine).values())
+    assert len(values) == 1, f"honest nodes disagree: {values}"
+    return values.pop()
+
+
+class TestChainDelay:
+    """The Section 6.3 worst case: byzantine chain delays the broadcast."""
+
+    @pytest.mark.parametrize("chain_len", [1, 2, 4, 6])
+    def test_rounds_are_f_plus_two(self, chain_len):
+        n, t = 16, 7
+        chain = list(range(chain_len))
+        behaviors = chain_delay_strategy(chain, honest_target=chain_len)
+        result = run_erb(
+            small_config(n, t=t, seed=chain_len), initiator=0, message=b"x",
+            behaviors=behaviors,
+        )
+        assert result.rounds_executed == min(chain_len + 2, t + 2)
+
+    def test_honest_agreement_on_value(self):
+        behaviors = chain_delay_strategy([0, 1, 2], honest_target=3)
+        result = run_erb(
+            small_config(16, t=7, seed=9), initiator=0, message=b"x",
+            behaviors=behaviors,
+        )
+        assert _assert_agreement(result, {0, 1, 2}) == b"x"
+
+    def test_chain_members_eliminated(self):
+        behaviors = chain_delay_strategy([0, 1, 2, 3], honest_target=4)
+        result = run_erb(
+            small_config(16, t=7, seed=10), initiator=0, message=b"x",
+            behaviors=behaviors,
+        )
+        assert result.halted == [0, 1, 2, 3]
+
+    def test_traffic_decreases_with_byzantine_fraction(self):
+        """Fig. 3c: halt-on-divergence ejects nodes, traffic goes *down*."""
+        honest = run_erb(small_config(32, seed=1), 0, b"x")
+        behaviors = chain_delay_strategy(list(range(8)), honest_target=8)
+        byzantine = run_erb(
+            small_config(32, t=15, seed=1), initiator=0, message=b"x",
+            behaviors=behaviors,
+        )
+        assert byzantine.traffic.bytes_sent < honest.traffic.bytes_sent
+
+
+class TestSelectiveOmission:
+    def test_identity_based_omitter_is_churned_out(self):
+        n = 9
+        # Initiator omits its INIT to 6 of 8 peers: at most 2 ACKs < t=4.
+        behaviors = {0: SelectiveOmission(victims=set(range(3, 9)))}
+        result = run_erb(
+            small_config(n, seed=2), initiator=0, message=b"y",
+            behaviors=behaviors,
+        )
+        assert 0 in result.halted
+
+    def test_network_still_agrees_after_churn(self):
+        behaviors = {0: SelectiveOmission(victims=set(range(3, 9)))}
+        result = run_erb(
+            small_config(9, seed=2), initiator=0, message=b"y",
+            behaviors=behaviors,
+        )
+        # The two reached nodes flood the value; everyone honest agrees.
+        assert _assert_agreement(result, {0}) == b"y"
+
+    def test_small_scale_omission_tolerated(self):
+        # Omitting to a single victim keeps the sender above the ACK
+        # threshold: no halt, and the victim still learns m via echoes.
+        behaviors = {0: SelectiveOmission(victims={1})}
+        result = run_erb(
+            small_config(9, seed=3), initiator=0, message=b"z",
+            behaviors=behaviors,
+        )
+        assert result.halted == []
+        assert result.outputs[1] == b"z"
+
+
+class TestRodAdversaries:
+    def test_delaying_initiator_yields_bottom(self):
+        # Everything the initiator sends arrives a round late and is
+        # stamped stale (P5): equivalent to full omission.
+        result = run_erb(
+            small_config(9, seed=4), initiator=0, message=b"w",
+            behaviors={0: DelayAdversary(2)},
+        )
+        assert _assert_agreement(result, {0}) is None
+
+    def test_delayed_messages_never_acked(self):
+        result = run_erb(
+            small_config(9, seed=4), initiator=0, message=b"w",
+            behaviors={0: DelayAdversary(2)},
+        )
+        assert 0 in result.halted  # no ACKs for the (late) INITs
+
+    def test_replaying_relay_is_harmless(self):
+        result = run_erb(
+            small_config(9, seed=5), initiator=0, message=b"v",
+            behaviors={3: ReplayAdversary(replay_after_rounds=1, burst=64)},
+        )
+        assert _assert_agreement(result, {3}) == b"v"
+        assert result.traffic.rejections > 0  # replays hit the guard
+
+    def test_rod_composite(self):
+        behaviors = {
+            2: CompositeBehavior(
+                [
+                    RandomOmission(DeterministicRNG("rod"), send_drop_p=0.3),
+                    ReplayAdversary(),
+                ]
+            )
+        }
+        result = run_erb(
+            small_config(9, seed=6), initiator=0, message=b"u",
+            behaviors=behaviors,
+        )
+        assert _assert_agreement(result, {2}) == b"u"
+
+
+class TestByzantineAdversaries:
+    def test_tampering_reduces_to_omission(self):
+        # Theorem A.2: a tamperer's messages all fail MAC checks; as the
+        # initiator it is indistinguishable from a silent node.
+        result = run_erb(
+            small_config(9, seed=7), initiator=0, message=b"z",
+            behaviors={0: TamperAdversary()},
+        )
+        assert _assert_agreement(result, {0}) is None
+        assert result.traffic.rejections > 0
+        assert 0 in result.halted
+
+    def test_tampering_relay_does_not_break_agreement(self):
+        result = run_erb(
+            small_config(9, seed=8), initiator=0, message=b"q",
+            behaviors={4: TamperAdversary()},
+        )
+        assert _assert_agreement(result, {4}) == b"q"
+
+    def test_receive_omitter_never_decides_value_but_stays(self):
+        result = run_erb(
+            small_config(9, seed=9), initiator=0, message=b"r",
+            behaviors={5: ReceiveOmission()},
+        )
+        # The mute listener still multicasts nothing invalid, is ACKed for
+        # nothing (it sends nothing), and times out to ⊥ — while all other
+        # honest nodes accept the value.
+        assert result.outputs[5] is None
+        others = {
+            node: value for node, value in result.outputs.items() if node != 5
+        }
+        assert set(others.values()) == {b"r"}
+
+
+class TestIntegrityAndTermination:
+    def test_every_node_decides_exactly_once(self):
+        result = run_erb(
+            small_config(11, seed=10), initiator=0, message=b"once",
+            behaviors={1: DelayAdversary(1)},
+        )
+        # Every non-halted node appears in outputs with a decided round.
+        alive = set(range(11)) - set(result.halted)
+        assert alive <= set(result.outputs)
+        for node in alive:
+            assert result.decided_rounds[node] is not None
+
+    def test_termination_bound_respected(self):
+        result = run_erb(
+            small_config(11, seed=11), initiator=0, message=b"x",
+            behaviors={0: DelayAdversary(3)},
+        )
+        t = small_config(11).t
+        assert result.rounds_executed <= t + 2

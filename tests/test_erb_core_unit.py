@@ -1,0 +1,202 @@
+"""Direct unit tests of the ErbCore state machine (no engine).
+
+A fake context drives the core through hand-crafted message sequences so
+every guard of Algorithm 2 is exercised in isolation: round validity
+(P5), sequence validity (P6), initiator binding, duplicate counting,
+quorum edges, and the ⊥ deadline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import MessageType, ProtocolMessage
+from repro.core.erb import BOTTOM, ErbCore
+
+
+class FakeContext:
+    """Minimal stand-in for EnclaveContext."""
+
+    def __init__(self, node_id: int, rnd: int = 1) -> None:
+        self.node_id = node_id
+        self.round = rnd
+        self.acks = []        # (dest, message)
+        self.multicasts = []  # (message, targets, threshold)
+
+    def acknowledge(self, dest, message):
+        self.acks.append((dest, message))
+
+    def multicast(self, message, targets=None, expect_acks=True, threshold=None):
+        self.multicasts.append((message, targets, threshold))
+
+
+def _core(node=5, initiator=0, n=9, t=4, seq=1):
+    return ErbCore(
+        instance="unit",
+        initiator=initiator,
+        expected_seq=seq,
+        group_size=n,
+        fault_bound=t,
+    )
+
+
+def _init(payload=b"m", rnd=1, seq=1, initiator=0, instance="unit"):
+    return ProtocolMessage(
+        MessageType.INIT, initiator, seq, payload, rnd, instance
+    )
+
+
+def _echo(payload=b"m", rnd=2, seq=1, initiator=0, instance="unit"):
+    return ProtocolMessage(
+        MessageType.ECHO, initiator, seq, payload, rnd, instance
+    )
+
+
+class TestValidityGuards:
+    def test_valid_init_acked_and_staged(self):
+        core, ctx = _core(), FakeContext(5)
+        assert core.handle_message(ctx, 0, _init())
+        assert len(ctx.acks) == 1
+        assert len(ctx.multicasts) == 1  # the staged ECHO
+        assert core.m_hat == b"m"
+        assert core.s_echo == {0, 5}
+
+    def test_stale_round_ignored_no_ack(self):
+        """Lockstep (P5): a round-1 INIT arriving in round 2 is omitted."""
+        core, ctx = _core(), FakeContext(5, rnd=2)
+        core.handle_message(ctx, 0, _init(rnd=1))
+        assert ctx.acks == []
+        assert core.m_hat is not b"m"
+        assert core.s_echo == set()
+
+    def test_wrong_seq_ignored(self):
+        """Freshness (P6): a replayed past-instance seq is omitted."""
+        core, ctx = _core(), FakeContext(5)
+        core.handle_message(ctx, 0, _init(seq=99))
+        assert ctx.acks == []
+
+    def test_init_from_non_initiator_ignored(self):
+        core, ctx = _core(), FakeContext(5)
+        core.handle_message(ctx, 3, _init())
+        assert ctx.acks == []
+        assert core.s_echo == set()
+
+    def test_wrong_instance_not_consumed(self):
+        core, ctx = _core(), FakeContext(5)
+        assert not core.handle_message(ctx, 0, _init(instance="other"))
+
+    def test_echo_value_mismatch_ignored(self):
+        core, ctx = _core(), FakeContext(5)
+        core.handle_message(ctx, 0, _init(b"m"))
+        before = set(core.s_echo)
+        ctx.round = 2
+        core.handle_message(ctx, 3, _echo(b"DIFFERENT"))
+        assert core.s_echo == before  # not counted, not acked twice
+
+
+class TestQuorumCounting:
+    def test_duplicate_echo_sender_counted_once(self):
+        core, ctx = _core(), FakeContext(5)
+        ctx.round = 2
+        core.handle_message(ctx, 3, _echo())
+        core.handle_message(ctx, 3, _echo())
+        # sender 3 + self 5: {3, 5}
+        assert core.s_echo == {3, 5}
+
+    def test_accept_at_exactly_n_minus_t(self):
+        core, ctx = _core(n=9, t=4), FakeContext(5)
+        ctx.round = 2
+        # quorum = 5 distinct members of S_echo
+        senders = [1, 2, 3]
+        for sender in senders:
+            core.handle_message(ctx, sender, _echo())
+            assert not core.decided  # 2..4 entries: below quorum
+        core.handle_message(ctx, 4, _echo())
+        # {1,2,3,4,5(self)} = 5 = N - t: accept
+        assert core.decided
+        assert core.output == b"m"
+        assert core.decided_round == 2
+
+    def test_first_echo_stages_own_echo(self):
+        core, ctx = _core(), FakeContext(5)
+        ctx.round = 2
+        core.handle_message(ctx, 3, _echo())
+        assert len(ctx.multicasts) == 1
+        staged, _, _ = ctx.multicasts[0]
+        assert staged.type is MessageType.ECHO
+        assert staged.payload == b"m"
+
+    def test_second_echo_does_not_restage(self):
+        core, ctx = _core(), FakeContext(5)
+        ctx.round = 2
+        core.handle_message(ctx, 3, _echo())
+        core.handle_message(ctx, 4, _echo())
+        assert len(ctx.multicasts) == 1
+
+
+class TestInitiatorPath:
+    def test_begin_multicasts_init(self):
+        core, ctx = _core(node=0), FakeContext(0)
+        core.begin(ctx, b"value")
+        assert core.m_hat == b"value"
+        assert core.s_echo == {0}
+        message, targets, threshold = ctx.multicasts[0]
+        assert message.type is MessageType.INIT
+        assert targets is None  # whole network
+
+    def test_begin_by_non_initiator_rejected(self):
+        core, ctx = _core(), FakeContext(5)
+        with pytest.raises(ValueError):
+            core.begin(ctx, b"x")
+
+    def test_single_node_group_accepts_immediately(self):
+        core = ErbCore("solo", 0, 1, 1, 0)
+        ctx = FakeContext(0)
+        core.begin(ctx, "v")
+        assert core.decided and core.output == "v"
+
+
+class TestDeadline:
+    def test_finish_without_quorum_yields_bottom(self):
+        core, ctx = _core(), FakeContext(5)
+        ctx.round = 2
+        core.handle_message(ctx, 3, _echo())
+        ctx.round = 6
+        core.finish(ctx)
+        assert core.decided
+        assert core.output is BOTTOM
+
+    def test_finish_after_accept_keeps_value(self):
+        core, ctx = _core(n=3, t=1), FakeContext(2)
+        ctx.round = 2
+        core.handle_message(ctx, 1, _echo())
+        assert core.decided and core.output == b"m"
+        core.finish(ctx)
+        assert core.output == b"m"
+
+    def test_broadcasting_bottom_payload_is_distinguishable(self):
+        """A legitimately broadcast None payload must not be confused
+        with the timeout ⊥ — the sentinel keeps them apart."""
+        core, ctx = _core(n=3, t=1), FakeContext(2)
+        ctx.round = 2
+        core.handle_message(ctx, 1, _echo(payload=None))
+        assert core.decided
+        assert core.output is None
+        assert core.decided_round == 2  # accepted, not timed out
+
+
+class TestClusterParameters:
+    def test_participants_restrict_targets(self):
+        core = ErbCore(
+            "cluster", 0, 1, group_size=4, fault_bound=1,
+            participants=[0, 2, 4, 6], ack_threshold=1,
+        )
+        ctx = FakeContext(0)
+        core.begin(ctx, b"v")
+        _, targets, threshold = ctx.multicasts[0]
+        assert targets == (0, 2, 4, 6)
+        assert threshold == 1
+
+    def test_cluster_quorum(self):
+        core = ErbCore("cluster", 0, 1, group_size=4, fault_bound=1)
+        assert core.accept_quorum == 3

@@ -1,0 +1,115 @@
+"""Property-based tests: Definition 2.1 holds for ERB under randomized
+adversary mixes (the reduction theorems, exercised statistically)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    DelayAdversary,
+    RandomOmission,
+    ReceiveOmission,
+    ReplayAdversary,
+    SelectiveOmission,
+    TamperAdversary,
+)
+from repro.common.rng import DeterministicRNG
+from repro.core.erb import run_erb
+
+from tests.conftest import small_config
+
+
+def _build_adversaries(n, t, kinds, rng):
+    """Assign up to t byzantine behaviours drawn from `kinds`."""
+    behaviors = {}
+    byzantine = sorted(rng.sample(list(range(n)), min(t, len(kinds))))
+    for node, kind in zip(byzantine, kinds):
+        if kind == 0:
+            behaviors[node] = RandomOmission(
+                rng.fork(("omit", node)), send_drop_p=0.5, recv_drop_p=0.2
+            )
+        elif kind == 1:
+            behaviors[node] = SelectiveOmission(
+                victims=set(rng.sample(list(range(n)), n // 2))
+            )
+        elif kind == 2:
+            behaviors[node] = DelayAdversary(rng.randint(1, 3))
+        elif kind == 3:
+            behaviors[node] = ReplayAdversary()
+        elif kind == 4:
+            behaviors[node] = TamperAdversary()
+        else:
+            behaviors[node] = ReceiveOmission()
+    return behaviors
+
+
+@st.composite
+def _scenario(draw):
+    n = draw(st.integers(min_value=3, max_value=13))
+    t = (n - 1) // 2
+    kinds = draw(st.lists(st.integers(min_value=0, max_value=5), max_size=t))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    initiator_honest = draw(st.booleans())
+    return n, t, kinds, seed, initiator_honest
+
+
+class TestDefinition21Properties:
+    @given(_scenario())
+    @settings(max_examples=60, deadline=None)
+    def test_agreement_and_termination(self, scenario):
+        n, t, kinds, seed, initiator_honest = scenario
+        rng = DeterministicRNG(("scenario", seed))
+        behaviors = _build_adversaries(n, t, kinds, rng)
+        if initiator_honest:
+            initiator = next(
+                node for node in range(n) if node not in behaviors
+            )
+        else:
+            initiator = rng.randrange(n)
+        result = run_erb(
+            small_config(n, seed=seed),
+            initiator=initiator,
+            message=b"prop",
+            behaviors=behaviors,
+        )
+
+        byzantine = set(behaviors)
+        honest = result.honest_outputs(byzantine)
+
+        # Termination: every honest node decides something.
+        expected_honest = set(range(n)) - byzantine - set(result.halted)
+        assert set(honest) == expected_honest
+        # Round bound.
+        assert result.rounds_executed <= t + 2
+
+        # Agreement: all honest nodes decide the same value.
+        values = set(honest.values())
+        assert len(values) <= 1
+
+        # Validity: honest initiator => everyone accepts its message.
+        if initiator not in byzantine and values:
+            assert values == {b"prop"}
+        # Integrity: any accepted non-bottom value is the initiator's.
+        for value in values:
+            if value is not None:
+                assert value == b"prop"
+
+    @given(_scenario())
+    @settings(max_examples=30, deadline=None)
+    def test_honest_nodes_never_halt(self, scenario):
+        n, t, kinds, seed, _ = scenario
+        rng = DeterministicRNG(("halt", seed))
+        behaviors = _build_adversaries(n, t, kinds, rng)
+        initiator = next(
+            (node for node in range(n) if node not in behaviors), 0
+        )
+        result = run_erb(
+            small_config(n, seed=seed),
+            initiator=initiator,
+            message=b"prop",
+            behaviors=behaviors,
+        )
+        # P4 only ever ejects misbehaving nodes: an honest node always
+        # collects enough ACKs from the honest majority.
+        assert set(result.halted) <= set(behaviors)

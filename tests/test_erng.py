@@ -1,0 +1,182 @@
+"""Unoptimized ERNG (Algorithm 3): agreement, unbiasedness machinery,
+attack resistance."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    DelayAdversary,
+    LookaheadBiasAdversary,
+    SelectiveOmission,
+    TamperAdversary,
+)
+from repro.analysis.bias import empirical_bias, uniformity_chi_square
+from repro.common.types import MessageType
+from repro.core.erng import run_erng, xor_fold
+
+from tests.conftest import full_crypto_config, small_config
+
+
+class TestXorFold:
+    def test_empty(self):
+        assert xor_fold([]) == 0
+
+    def test_single(self):
+        assert xor_fold([42]) == 42
+
+    def test_self_inverse(self):
+        assert xor_fold([7, 7]) == 0
+
+    def test_order_independent(self):
+        assert xor_fold([1, 2, 3]) == xor_fold([3, 1, 2])
+
+
+class TestHonestErng:
+    @pytest.mark.parametrize("n", [2, 3, 5, 9])
+    def test_agreement(self, n):
+        result = run_erng(small_config(n, seed=n))
+        values = set(result.outputs.values())
+        assert len(values) == 1
+        assert isinstance(values.pop(), int)
+
+    def test_early_stopping_honest(self):
+        result = run_erng(small_config(9, seed=1))
+        assert result.rounds_executed == 2
+
+    def test_output_is_xor_of_contributions(self):
+        from repro.common.config import SimulationConfig
+        from repro.core.erng import ErngProgram
+        from repro.net.simulator import SynchronousNetwork
+
+        config = small_config(5, seed=2)
+        programs = {}
+
+        def factory(node_id):
+            programs[node_id] = ErngProgram(
+                node_id, config.n, config.t, config.random_bits
+            )
+            return programs[node_id]
+
+        network = SynchronousNetwork(config, factory)
+        result = network.run(max_rounds=config.t + 2)
+        contributions = [p.contribution for p in programs.values()]
+        assert set(result.outputs.values()) == {xor_fold(contributions)}
+
+    def test_final_set_complete_when_honest(self):
+        from repro.common.config import SimulationConfig
+        from repro.core.erng import ErngProgram
+        from repro.net.simulator import SynchronousNetwork
+
+        config = small_config(5, seed=3)
+        programs = {}
+
+        def factory(node_id):
+            programs[node_id] = ErngProgram(
+                node_id, config.n, config.t, config.random_bits
+            )
+            return programs[node_id]
+
+        SynchronousNetwork(config, factory).run(max_rounds=config.t + 2)
+        for program in programs.values():
+            assert set(program.final_set) == set(range(5))
+
+    def test_cubic_traffic_scaling(self):
+        small = run_erng(small_config(6, seed=0)).traffic.bytes_sent
+        large = run_erng(small_config(12, seed=0)).traffic.bytes_sent
+        ratio = large / small
+        assert 6.0 < ratio < 10.0  # 2x nodes -> ~8x traffic
+
+    def test_message_counts_match_theory(self):
+        n = 6
+        result = run_erng(small_config(n, seed=1))
+        by_type = result.traffic.messages_by_type
+        assert by_type[MessageType.INIT] == n * (n - 1)
+        assert by_type[MessageType.ECHO] == n * (n - 1) ** 2
+
+    def test_full_crypto_agreement(self):
+        result = run_erng(full_crypto_config(3, seed=4))
+        assert len(set(result.outputs.values())) == 1
+
+    def test_distinct_seeds_distinct_outputs(self):
+        a = run_erng(small_config(5, seed=10)).outputs[0]
+        b = run_erng(small_config(5, seed=11)).outputs[0]
+        assert a != b
+
+
+class TestErngUnderAttack:
+    def test_silent_byzantine_contributions_excluded_consistently(self):
+        # Byzantine node 0 delays everything: its instance times out to ⊥
+        # for *everyone*, and all honest nodes agree on the same XOR.
+        result = run_erng(
+            small_config(7, seed=5), behaviors={0: DelayAdversary(2)}
+        )
+        honest = result.honest_outputs({0})
+        assert len(set(honest.values())) == 1
+
+    def test_selective_omission_does_not_split_network(self):
+        result = run_erng(
+            small_config(7, seed=6),
+            behaviors={1: SelectiveOmission(victims={2, 3, 4, 5, 6})},
+        )
+        honest = result.honest_outputs({1})
+        assert len(set(honest.values())) == 1
+
+    def test_tamperer_excluded(self):
+        result = run_erng(
+            small_config(7, seed=7), behaviors={2: TamperAdversary()}
+        )
+        honest = result.honest_outputs({2})
+        assert len(set(honest.values())) == 1
+        assert 2 in result.halted
+
+    def test_lookahead_attacker_cannot_bias_erng(self):
+        """Attack A4 against ERNG: blind channels hide contributions and
+        the round check rejects late releases, so the attacker's
+        favourable-set frequency stays at ~1/2 (vs ~3/4 on the strawman —
+        see test_strawman_attacks)."""
+        favourable = lambda value: value % 2 == 0
+        hits = 0
+        trials = 40
+        for seed in range(trials):
+            adversary = LookaheadBiasAdversary(0, favourable)
+            result = run_erng(
+                small_config(5, seed=seed, random_bits=16),
+                behaviors={0: adversary},
+            )
+            honest = result.honest_outputs({0})
+            value = next(iter(honest.values()))
+            if favourable(value):
+                hits += 1
+            # The adversary never saw its own plaintext contribution:
+            assert adversary._own_value is None
+        # Binomial(40, 1/2): being outside [12, 28] has p < 0.002.
+        assert 12 <= hits <= 28
+
+    def test_rounds_grow_with_silent_byzantine(self):
+        # With a silent byzantine initiator the deadline t+2 applies.
+        result = run_erng(
+            small_config(7, seed=8), behaviors={0: DelayAdversary(5)}
+        )
+        t = small_config(7).t
+        assert result.rounds_executed == t + 2
+
+
+class TestErngStatistics:
+    def test_outputs_look_uniform(self):
+        k = 16
+        samples = [
+            next(iter(run_erng(small_config(4, seed=s, random_bits=k)).outputs.values()))
+            for s in range(120)
+        ]
+        stat, critical = uniformity_chi_square(samples, k, buckets=8)
+        assert stat < 2 * critical  # loose: no gross non-uniformity
+
+    def test_bias_estimator_near_one(self):
+        k = 16
+        samples = [
+            next(iter(run_erng(small_config(4, seed=s, random_bits=k)).outputs.values()))
+            for s in range(120)
+        ]
+        report = empirical_bias(samples, k)
+        assert report["beta"] < 1.5

@@ -1,0 +1,190 @@
+"""Optimized ERNG (Algorithm 6): cluster formation, agreement, traffic
+savings, and the fixed-schedule adversarial path."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import DelayAdversary, SelectiveOmission, TamperAdversary
+from repro.common.config import SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import MessageType
+from repro.core.erng import run_erng
+from repro.core.erng_optimized import (
+    ClusterConfig,
+    OptimizedErngProgram,
+    run_optimized_erng,
+)
+from repro.net.simulator import SynchronousNetwork
+
+from tests.conftest import small_config
+
+
+def _config(n, t=None, seed=0, **kwargs):
+    return SimulationConfig(n=n, t=t if t is not None else n // 3, seed=seed, **kwargs)
+
+
+class TestClusterConfig:
+    def test_default_gamma_logarithmic(self):
+        assert ClusterConfig().resolved_gamma(1024) == 10
+        assert ClusterConfig().resolved_gamma(8) == 4  # floor of 4
+
+    def test_explicit_gamma_wins(self):
+        assert ClusterConfig(gamma=7).resolved_gamma(1024) == 7
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(mode="bogus").validate(100)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ClusterConfig(mode="fixed_fraction", fraction=0.0).validate(100)
+
+    def test_bound_enforced(self):
+        with pytest.raises(ConfigurationError):
+            run_optimized_erng(SimulationConfig(n=9, t=4, seed=0))
+
+
+class TestFixedFractionMode:
+    def test_agreement(self):
+        result = run_optimized_erng(
+            _config(24, seed=1), cluster=ClusterConfig(mode="fixed_fraction")
+        )
+        assert len(set(result.outputs.values())) == 1
+
+    def test_all_nodes_decide(self):
+        result = run_optimized_erng(
+            _config(24, seed=1), cluster=ClusterConfig(mode="fixed_fraction")
+        )
+        assert len(result.outputs) == 24
+
+    def test_cluster_members_only_initiate(self):
+        config = _config(24, seed=2)
+        cluster = ClusterConfig(mode="fixed_fraction")
+        programs = {}
+
+        def factory(node_id):
+            programs[node_id] = OptimizedErngProgram(
+                node_id, config.n, config.t, cluster, config.random_bits
+            )
+            return programs[node_id]
+
+        SynchronousNetwork(config, factory).run(max_rounds=20)
+        cutoff = 16  # ceil(2/3 * 24)
+        for node_id, program in programs.items():
+            assert program.is_member == (node_id < cutoff)
+            assert program.is_initiator == program.is_member
+
+    def test_traffic_beats_unoptimized_at_scale(self):
+        """The Fig. 3b comparison: fixed 2N/3 cluster cuts traffic vs the
+        cubic unoptimized protocol."""
+        n = 27
+        unopt = run_erng(SimulationConfig(n=n, t=n // 3, seed=3))
+        opt = run_optimized_erng(
+            _config(n, seed=3), cluster=ClusterConfig(mode="fixed_fraction")
+        )
+        assert opt.traffic.bytes_sent < unopt.traffic.bytes_sent
+
+    def test_early_stop_constant_rounds(self):
+        result = run_optimized_erng(
+            _config(30, seed=4), cluster=ClusterConfig(mode="fixed_fraction")
+        )
+        assert result.rounds_executed <= 5
+
+
+class TestSampledMode:
+    def test_agreement_large_network(self):
+        result = run_optimized_erng(
+            _config(120, seed=5), cluster=ClusterConfig(mode="sampled", gamma=7)
+        )
+        assert len(set(result.outputs.values())) == 1
+
+    def test_cluster_size_near_expectation(self):
+        config = _config(200, seed=6)
+        cluster = ClusterConfig(mode="sampled", gamma=8)
+        programs = {}
+
+        def factory(node_id):
+            programs[node_id] = OptimizedErngProgram(
+                node_id, config.n, config.t, cluster, config.random_bits
+            )
+            return programs[node_id]
+
+        SynchronousNetwork(config, factory).run(max_rounds=20)
+        members = sum(1 for p in programs.values() if p.is_member)
+        # E[|cluster|] ~ 2 gamma = 16; allow a wide band.
+        assert 4 <= members <= 40
+
+    def test_second_cluster_smaller(self):
+        config = _config(200, seed=7)
+        cluster = ClusterConfig(mode="sampled", gamma=9)
+        programs = {}
+
+        def factory(node_id):
+            programs[node_id] = OptimizedErngProgram(
+                node_id, config.n, config.t, cluster, config.random_bits
+            )
+            return programs[node_id]
+
+        SynchronousNetwork(config, factory).run(max_rounds=20)
+        members = sum(1 for p in programs.values() if p.is_member)
+        initiators = sum(1 for p in programs.values() if p.is_initiator)
+        assert initiators <= members
+        assert initiators >= 1
+
+    def test_chosen_and_final_messages_present(self):
+        result = run_optimized_erng(
+            _config(60, seed=8), cluster=ClusterConfig(mode="sampled", gamma=6)
+        )
+        by_type = result.traffic.messages_by_type
+        assert by_type[MessageType.CHOSEN] > 0
+        assert by_type[MessageType.FINAL] > 0
+
+    def test_deterministic(self):
+        a = run_optimized_erng(_config(60, seed=9), ClusterConfig(gamma=6))
+        b = run_optimized_erng(_config(60, seed=9), ClusterConfig(gamma=6))
+        assert a.outputs == b.outputs
+        assert a.traffic.bytes_sent == b.traffic.bytes_sent
+
+
+class TestOptimizedUnderAttack:
+    def _run_fixed_schedule(self, n, seed, behaviors):
+        config = _config(n, seed=seed, extra={"erng_early_stop": False})
+        return run_optimized_erng(
+            config,
+            cluster=ClusterConfig(mode="fixed_fraction"),
+            behaviors=behaviors,
+        )
+
+    def test_delaying_member_does_not_break_agreement(self):
+        result = self._run_fixed_schedule(
+            24, 10, behaviors={0: DelayAdversary(2)}
+        )
+        honest = result.honest_outputs({0})
+        assert len(set(honest.values())) == 1
+
+    def test_tampering_member_ejected(self):
+        result = self._run_fixed_schedule(
+            24, 11, behaviors={1: TamperAdversary()}
+        )
+        assert 1 in result.halted
+        honest = result.honest_outputs({1})
+        assert len(set(honest.values())) == 1
+
+    def test_selective_omission_in_final_phase(self):
+        # A member that withholds FINAL from half the network: the
+        # remaining >= threshold honest FINALs still deliver agreement.
+        result = self._run_fixed_schedule(
+            24, 12,
+            behaviors={2: SelectiveOmission(victims=set(range(12, 24)))},
+        )
+        honest = result.honest_outputs({2})
+        assert len(set(honest.values())) == 1
+
+    def test_non_bottom_output_under_attack(self):
+        result = self._run_fixed_schedule(
+            24, 13, behaviors={3: DelayAdversary(1)}
+        )
+        honest = result.honest_outputs({3})
+        value = next(iter(honest.values()))
+        assert value is not None

@@ -1,0 +1,97 @@
+"""Property-based failure injection for the RNG protocols: agreement
+survives randomized adversary mixes (the Definition 2.3 guarantees)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import (
+    DelayAdversary,
+    RandomOmission,
+    ReplayAdversary,
+    SelectiveOmission,
+    TamperAdversary,
+)
+from repro.common.config import SimulationConfig
+from repro.common.rng import DeterministicRNG
+from repro.core.erng import run_erng
+from repro.core.erng_optimized import ClusterConfig, run_optimized_erng
+
+from tests.conftest import small_config
+
+
+def _adversaries(n, count, kinds, rng):
+    behaviors = {}
+    chosen = sorted(rng.sample(list(range(n)), min(count, len(kinds))))
+    for node, kind in zip(chosen, kinds):
+        if kind == 0:
+            behaviors[node] = RandomOmission(
+                rng.fork(("o", node)), send_drop_p=0.4, recv_drop_p=0.2
+            )
+        elif kind == 1:
+            behaviors[node] = SelectiveOmission(
+                victims=set(rng.sample(list(range(n)), n // 2))
+            )
+        elif kind == 2:
+            behaviors[node] = DelayAdversary(rng.randint(1, 3))
+        elif kind == 3:
+            behaviors[node] = TamperAdversary()
+        else:
+            behaviors[node] = ReplayAdversary()
+    return behaviors
+
+
+@st.composite
+def _erng_scenario(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    t = (n - 1) // 2
+    kinds = draw(st.lists(st.integers(min_value=0, max_value=4), max_size=t))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return n, t, kinds, seed
+
+
+class TestErngAgreementProperty:
+    @given(_erng_scenario())
+    @settings(max_examples=40, deadline=None)
+    def test_unoptimized_agreement(self, scenario):
+        n, t, kinds, seed = scenario
+        rng = DeterministicRNG(("erng-prop", seed))
+        behaviors = _adversaries(n, t, kinds, rng)
+        result = run_erng(small_config(n, seed=seed), behaviors=behaviors)
+        honest = result.honest_outputs(set(behaviors))
+        # Agreement (Definition 2.3): one common value among honest nodes.
+        assert len(set(honest.values())) <= 1
+        # Termination: every surviving honest node decided.
+        expected = set(range(n)) - set(behaviors) - set(result.halted)
+        assert set(honest) == expected
+        # Round bound: t + 2.
+        assert result.rounds_executed <= t + 2
+
+    @given(
+        st.integers(min_value=12, max_value=30),
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_optimized_agreement_fixed_schedule(self, n, seed, kind):
+        t = n // 3
+        rng = DeterministicRNG(("opt-prop", seed))
+        behaviors = _adversaries(n, min(2, t), [kind, (kind + 1) % 4], rng)
+        config = SimulationConfig(
+            n=n, t=t, seed=seed, extra={"erng_early_stop": False}
+        )
+        result = run_optimized_erng(
+            config,
+            cluster=ClusterConfig(mode="fixed_fraction"),
+            behaviors=behaviors,
+        )
+        honest = result.honest_outputs(set(behaviors))
+        assert len(set(honest.values())) <= 1
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=20, deadline=None)
+    def test_outputs_differ_across_seeds(self, seed):
+        a = run_erng(small_config(4, seed=seed)).outputs[0]
+        b = run_erng(small_config(4, seed=seed + 1000)).outputs[0]
+        assert a != b  # 128-bit collision would be astronomical

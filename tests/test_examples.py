@@ -1,0 +1,51 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are user-facing documentation; these tests keep them from
+rotting as the library evolves.  Each runs in a subprocess with the
+repository's source tree on the path.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _run(name: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+
+
+def test_examples_directory_has_at_least_three():
+    assert len(ALL_EXAMPLES) >= 3, ALL_EXAMPLES
+
+
+@pytest.mark.parametrize("name", ALL_EXAMPLES)
+def test_example_runs(name):
+    result = _run(name)
+    assert result.returncode == 0, (
+        f"{name} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{name} printed nothing"
+
+
+def test_quickstart_shows_agreement():
+    result = _run("quickstart.py")
+    assert "all 16 peers accepted" in result.stdout
+
+
+def test_attack_demo_shows_bias_gap():
+    result = _run("byzantine_attack_demo.py")
+    assert "strawman" in result.stdout
+    assert "honest nodes SPLIT" in result.stdout

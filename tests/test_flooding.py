@@ -1,0 +1,118 @@
+"""Flood-ERB over sparse topologies (the Appendix G / S5 relaxation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import RandomOmission, SelectiveOmission
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.core.flooding import default_hop_slack, run_flood_erb
+from repro.net.topology import Topology
+
+from tests.conftest import small_config
+
+
+def _expander(n, degree=4, seed="flood"):
+    return Topology.random_regular(n, degree, DeterministicRNG(seed))
+
+
+class TestFloodHonest:
+    @pytest.mark.parametrize("n", [8, 16, 30])
+    def test_validity_on_expander(self, n):
+        result = run_flood_erb(
+            small_config(n, seed=n), _expander(n), initiator=0, message=b"f"
+        )
+        assert set(result.outputs.values()) == {b"f"}
+
+    def test_validity_on_ring(self):
+        # Worst connected case: a cycle (diameter n/2).
+        n = 12
+        ring = Topology.random_regular(n, 2, DeterministicRNG("ring"))
+        result = run_flood_erb(
+            small_config(n, seed=1), ring, initiator=0, message=b"ring",
+            hop_slack=n,  # a cycle needs the full diameter allowance
+        )
+        assert set(result.outputs.values()) == {b"ring"}
+
+    def test_full_mesh_degenerates_to_two_rounds(self):
+        n = 10
+        result = run_flood_erb(
+            small_config(n, seed=2), Topology.full_mesh(n), 0, b"mesh"
+        )
+        assert result.rounds_executed == 2
+
+    def test_rounds_grow_with_sparsity(self):
+        n = 30
+        mesh = run_flood_erb(
+            small_config(n, seed=3), Topology.full_mesh(n), 0, b"x"
+        )
+        sparse = run_flood_erb(
+            small_config(n, seed=3), _expander(n), 0, b"x"
+        )
+        assert sparse.rounds_executed > mesh.rounds_executed
+
+    def test_traffic_bounded_by_values_times_edges(self):
+        # Flooding cost: each of the ~N flooded values (one INIT + one
+        # ECHO per node) crosses each directed edge at most once, so the
+        # message count is bounded by (N + 1) * N * max_degree.
+        n = 24
+        topo = _expander(n)
+        result = run_flood_erb(small_config(n, seed=4), topo, 0, b"y")
+        max_degree = max(topo.degree(node) for node in range(n))
+        assert result.traffic.messages_sent <= (n + 1) * n * max_degree
+
+    def test_disconnected_topology_rejected(self):
+        n = 6
+        adjacency = {
+            0: frozenset({1}), 1: frozenset({0}),
+            2: frozenset({3}), 3: frozenset({2}),
+            4: frozenset({5}), 5: frozenset({4}),
+        }
+        disconnected = Topology(n, adjacency)
+        with pytest.raises(ConfigurationError, match="connected"):
+            run_flood_erb(small_config(n), disconnected, 0, b"z")
+
+    def test_default_hop_slack(self):
+        assert default_hop_slack(1024) == 20
+        assert default_hop_slack(2) == 2
+
+
+class TestFloodAdversarial:
+    def test_omission_masked_by_path_redundancy(self):
+        # A single omitting relay cannot cut an expander: every honest
+        # node still receives the flood over alternative paths.
+        n = 24
+        topo = _expander(n, degree=6)
+        result = run_flood_erb(
+            small_config(n, seed=5), topo, initiator=0, message=b"r",
+            behaviors={5: SelectiveOmission(victims=set(range(n)))},
+        )
+        honest = result.honest_outputs({5})
+        assert set(honest.values()) == {b"r"}
+
+    def test_random_lossy_relays_still_agree(self):
+        n = 24
+        topo = _expander(n, degree=6, seed="lossy")
+        behaviors = {
+            node: RandomOmission(
+                DeterministicRNG(("loss", node)), send_drop_p=0.3
+            )
+            for node in (3, 7, 11)
+        }
+        result = run_flood_erb(
+            small_config(n, seed=6), topo, initiator=0, message=b"s",
+            behaviors=behaviors,
+        )
+        honest = result.honest_outputs(set(behaviors))
+        assert len(set(honest.values())) == 1
+
+    def test_silent_initiator_yields_bottom(self):
+        n = 16
+        topo = _expander(n)
+        result = run_flood_erb(
+            small_config(n, seed=7), topo, initiator=0, message=b"t",
+            behaviors={0: SelectiveOmission(victims=set(range(n)))},
+        )
+        honest = result.honest_outputs({0})
+        assert set(honest.values()) == {None}

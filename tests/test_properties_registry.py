@@ -1,0 +1,56 @@
+"""The P1-P6 registry stays consistent with the paper and the codebase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.properties import PROPERTIES, Property, property_by_key
+
+
+class TestRegistryStructure:
+    def test_all_six_properties_present(self):
+        assert [prop.key for prop in PROPERTIES] == [
+            "P1", "P2", "P3", "P4", "P5", "P6"
+        ]
+
+    def test_every_attack_is_covered(self):
+        # Section 3.1: P1-P6 together defeat A1-A5.
+        defeated = set()
+        for prop in PROPERTIES:
+            defeated |= set(prop.defeats)
+        assert defeated == {"A1", "A2", "A3", "A4", "A5"}
+
+    def test_features_are_known(self):
+        for prop in PROPERTIES:
+            assert set(prop.features) <= {"F1", "F2", "F3", "F4"}
+            assert prop.features  # every property rests on some feature
+
+    def test_paper_feature_mapping(self):
+        # Spot-check the mapping stated in Section 3.1.
+        assert property_by_key("P5").features == ("F4",)   # lockstep ← time
+        assert "F2" in property_by_key("P3").features      # blind-box ← RDRAND
+        assert "F3" in property_by_key("P1").features      # integrity ← attestation
+
+    def test_lookup_unknown_key(self):
+        with pytest.raises(KeyError):
+            property_by_key("P7")
+
+
+class TestRegistryAnchors:
+    @pytest.mark.parametrize("prop", PROPERTIES, ids=lambda p: p.key)
+    def test_implementation_anchors_resolve(self, prop: Property):
+        # Executable documentation: every 'enforced_by' module:symbol must
+        # actually exist, so the registry cannot silently go stale.
+        prop.resolve_anchors()
+
+    def test_stale_anchor_detected(self):
+        broken = Property(
+            key="PX",
+            name="broken",
+            features=("F1",),
+            defeats=("A1",),
+            enforced_by=("repro.core.erb:DoesNotExist",),
+            summary="",
+        )
+        with pytest.raises(AttributeError):
+            broken.resolve_anchors()

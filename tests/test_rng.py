@@ -1,0 +1,147 @@
+"""Tests for the deterministic, forkable RNG."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        a = DeterministicRNG(42)
+        b = DeterministicRNG(42)
+        assert [a.randint(0, 1000) for _ in range(50)] == [
+            b.randint(0, 1000) for _ in range(50)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = DeterministicRNG(1)
+        b = DeterministicRNG(2)
+        assert a.randbytes(32) != b.randbytes(32)
+
+    def test_fork_is_deterministic(self):
+        a = DeterministicRNG(7).fork("child")
+        b = DeterministicRNG(7).fork("child")
+        assert a.randbytes(16) == b.randbytes(16)
+
+    def test_forks_are_independent(self):
+        root = DeterministicRNG(7)
+        child_a = root.fork("a")
+        child_b = root.fork("b")
+        assert child_a.randbytes(16) != child_b.randbytes(16)
+
+    def test_fork_does_not_consume_parent(self):
+        root1 = DeterministicRNG(9)
+        root2 = DeterministicRNG(9)
+        root1.fork("x")
+        assert root1.randbytes(8) == root2.randbytes(8)
+
+
+class TestRanges:
+    def test_randbytes_length(self):
+        rng = DeterministicRNG(0)
+        for n in (0, 1, 31, 32, 33, 100):
+            assert len(rng.randbytes(n)) == n
+
+    def test_randbytes_negative_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).randbytes(-1)
+
+    def test_randbits_zero(self):
+        assert DeterministicRNG(0).randbits(0) == 0
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=50)
+    def test_randbits_in_range(self, k):
+        value = DeterministicRNG(k).randbits(k)
+        assert 0 <= value < 2**k
+
+    @given(
+        st.integers(min_value=-100, max_value=100),
+        st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=100)
+    def test_randint_inclusive(self, low, span):
+        value = DeterministicRNG((low, span)).randint(low, low + span)
+        assert low <= value <= low + span
+
+    def test_randint_empty_range_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).randint(5, 4)
+
+    def test_randrange(self):
+        rng = DeterministicRNG(1)
+        assert all(0 <= rng.randrange(7) < 7 for _ in range(100))
+
+    def test_randrange_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).randrange(0)
+
+    def test_random_unit_interval(self):
+        rng = DeterministicRNG(2)
+        assert all(0.0 <= rng.random() < 1.0 for _ in range(100))
+
+
+class TestCollections:
+    def test_choice(self):
+        rng = DeterministicRNG(3)
+        items = ["a", "b", "c"]
+        assert all(rng.choice(items) in items for _ in range(30))
+
+    def test_choice_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).choice([])
+
+    def test_sample_distinct(self):
+        rng = DeterministicRNG(4)
+        sample = rng.sample(list(range(20)), 10)
+        assert len(sample) == 10
+        assert len(set(sample)) == 10
+
+    def test_sample_too_many_rejected(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).sample([1, 2], 3)
+
+    def test_shuffle_is_permutation(self):
+        rng = DeterministicRNG(5)
+        items = list(range(50))
+        shuffled = list(items)
+        rng.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # astronomically unlikely to be identity
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRNG(6)
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+
+    def test_bernoulli_out_of_range(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(0).bernoulli(1.5)
+
+    def test_subset_probabilities(self):
+        rng = DeterministicRNG(7)
+        assert rng.subset(range(100), 0.0) == []
+        assert rng.subset(range(100), 1.0) == list(range(100))
+
+
+class TestDistribution:
+    def test_randint_roughly_uniform(self):
+        rng = DeterministicRNG("uniformity")
+        counts = [0] * 8
+        trials = 8000
+        for _ in range(trials):
+            counts[rng.randint(0, 7)] += 1
+        expected = trials / 8
+        # chi-square with 7 dof; 40 is far beyond the 1e-6 quantile
+        chi2 = sum((c - expected) ** 2 / expected for c in counts)
+        assert chi2 < 40
+
+    def test_bit_balance(self):
+        rng = DeterministicRNG("bits")
+        ones = sum(bin(b).count("1") for b in rng.randbytes(4096))
+        total = 4096 * 8
+        assert abs(ones / total - 0.5) < 0.02

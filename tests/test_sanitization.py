@@ -1,0 +1,124 @@
+"""Appendix D sanitization: closed forms vs Monte Carlo, plus an
+end-to-end churn demonstration with real ERB instances."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import SelectiveOmission
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.core.erb import run_erb
+from repro.core.sanitization import SanitizationModel
+
+from tests.conftest import small_config
+
+
+class TestClosedForms:
+    def test_expected_decay(self):
+        model = SanitizationModel(t=100, p=0.1)
+        assert model.expected_faulty_after(0) == 100
+        assert model.expected_faulty_after(1) == pytest.approx(95.0)
+        assert model.expected_faulty_after(2) == pytest.approx(90.25)
+
+    def test_decay_rate_with_replacement_prob(self):
+        # q = 0: every eliminated node is replaced by an honest one.
+        aggressive = SanitizationModel(t=100, p=0.5, replacement_byzantine_p=0.0)
+        assert aggressive.decay_per_instance == pytest.approx(0.5)
+        # q = 1: replacements are always byzantine — no contraction.
+        futile = SanitizationModel(t=100, p=0.5, replacement_byzantine_p=1.0)
+        assert futile.decay_per_instance == pytest.approx(1.0)
+
+    def test_markov_bound_monotone(self):
+        model = SanitizationModel(t=512, p=2**-5)
+        bounds = [model.prob_any_faulty_bound(r) for r in (0, 100, 1000, 3000)]
+        assert bounds == sorted(bounds, reverse=True)
+        assert bounds[0] == 1.0  # t >= 1 initially
+
+    def test_paper_example(self):
+        # Appendix D: λ=30, t = N/2 - 1 for N = 2^10, p = 2^-5 → r ≈ 2500.
+        model = SanitizationModel(t=511, p=2**-5)
+        r = model.instances_for_confidence(30.0)
+        assert 2200 <= r <= 2600
+        assert model.prob_any_faulty_bound(r) <= math.exp(-30) * 1.01
+
+    def test_no_contraction_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SanitizationModel(t=10, p=0.0).instances_for_confidence(10)
+        with pytest.raises(ConfigurationError):
+            SanitizationModel(
+                t=10, p=0.5, replacement_byzantine_p=1.0
+            ).instances_for_confidence(10)
+
+    def test_expected_average_rounds_converges(self):
+        model = SanitizationModel(t=50, p=0.05)
+        early = model.expected_average_rounds(10)
+        late = model.expected_average_rounds(100000)
+        assert late < early
+        assert late == pytest.approx(2.0, abs=0.1)  # Theorem D.2: constant
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            SanitizationModel(t=-1, p=0.5)
+        with pytest.raises(ConfigurationError):
+            SanitizationModel(t=1, p=1.5)
+        with pytest.raises(ConfigurationError):
+            SanitizationModel(t=1, p=0.5, replacement_byzantine_p=-0.1)
+
+
+class TestMonteCarlo:
+    def test_trajectory_shape(self):
+        model = SanitizationModel(t=20, p=0.2)
+        outcome = model.simulate(50, DeterministicRNG("mc"))
+        assert outcome.instances == 51  # includes F_0
+        assert outcome.faulty_by_instance[0] == 20
+        assert all(f >= 0 for f in outcome.faulty_by_instance)
+
+    def test_mean_matches_closed_form(self):
+        model = SanitizationModel(t=40, p=0.3)
+        mean = model.monte_carlo_mean(
+            instances=20, trials=300, rng=DeterministicRNG("mean")
+        )
+        for r in (5, 10, 20):
+            expected = model.expected_faulty_after(r)
+            assert mean[r] == pytest.approx(expected, rel=0.2)
+
+    def test_sanitized_at_detection(self):
+        model = SanitizationModel(t=5, p=0.9, replacement_byzantine_p=0.0)
+        outcome = model.simulate(200, DeterministicRNG("fast"))
+        assert outcome.sanitized_at != -1
+
+    def test_conservation(self):
+        model = SanitizationModel(t=30, p=0.5)
+        outcome = model.simulate(100, DeterministicRNG("conserve"))
+        final = outcome.faulty_by_instance[-1]
+        assert final == 30 - outcome.eliminated_total + outcome.joined_byzantine_total
+
+    @given(st.integers(min_value=0, max_value=50), st.integers(min_value=0, max_value=5))
+    @settings(max_examples=30)
+    def test_faulty_count_never_negative(self, t, seed):
+        model = SanitizationModel(t=t, p=0.4)
+        outcome = model.simulate(30, DeterministicRNG(("neg", seed)))
+        assert min(outcome.faulty_by_instance) >= 0
+
+
+class TestEndToEndChurn:
+    def test_repeated_instances_sanitize_the_network(self):
+        """Run real ERB instances; the omitting node is ejected in the
+        first instance it misbehaves in, later instances are clean."""
+        n = 9
+        behaviors = {4: SelectiveOmission(victims=set(range(6)) - {4})}
+        # Instance 1: node 4 echoes only to a minority → churned out.
+        first = run_erb(
+            small_config(n, seed=20), initiator=0, message=b"i1",
+            behaviors=behaviors,
+        )
+        assert 4 in first.halted
+        # Instance 2 (fresh run, node 4 gone — model as honest n-1 net):
+        second = run_erb(small_config(n - 1, seed=21), 0, b"i2")
+        assert second.halted == []
+        assert second.rounds_executed == 2

@@ -1,0 +1,154 @@
+"""Unit and property tests for the deterministic serialization format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import SerializationError
+from repro.common.serialization import decode, encode, encoded_size
+
+
+class TestEncodeBasics:
+    def test_none_roundtrip(self):
+        assert decode(encode(None)) is None
+
+    def test_bool_roundtrip(self):
+        assert decode(encode(True)) is True
+        assert decode(encode(False)) is False
+
+    def test_bool_is_not_int(self):
+        # bools must not collide with ints 0/1
+        assert encode(True) != encode(1)
+        assert encode(False) != encode(0)
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 255, 256, -256, 2**128, -(2**128)])
+    def test_int_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    @pytest.mark.parametrize("value", [b"", b"\x00", b"hello", bytes(range(256))])
+    def test_bytes_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    @pytest.mark.parametrize("value", ["", "ascii", "ünïcødé", "日本語"])
+    def test_str_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    def test_tuple_roundtrip(self):
+        value = (1, "two", b"three", None, (4, 5))
+        assert decode(encode(value)) == value
+
+    def test_list_decodes_as_tuple(self):
+        assert decode(encode([1, 2, 3])) == (1, 2, 3)
+
+    def test_dict_roundtrip(self):
+        value = {"b": 2, "a": 1, "c": (3,)}
+        assert decode(encode(value)) == value
+
+    def test_dict_encoding_is_order_independent(self):
+        assert encode({"a": 1, "b": 2}) == encode({"b": 2, "a": 1})
+
+    def test_empty_containers(self):
+        assert decode(encode(())) == ()
+        assert decode(encode({})) == {}
+
+    def test_encoded_size_matches_length(self):
+        value = ("x", 42, b"abc")
+        assert encoded_size(value) == len(encode(value))
+
+
+class TestEncodeErrors:
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(SerializationError):
+            encode(3.14)
+
+    def test_frozenset_rejected_with_hint(self):
+        with pytest.raises(SerializationError, match="sorted tuples"):
+            encode(frozenset({1, 2}))
+
+    def test_unsortable_dict_keys_rejected(self):
+        with pytest.raises(SerializationError):
+            encode({1: "a", "b": 2})
+
+
+class TestDecodeErrors:
+    def test_empty_input(self):
+        with pytest.raises(SerializationError):
+            decode(b"")
+
+    def test_unknown_tag(self):
+        with pytest.raises(SerializationError):
+            decode(b"Z")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SerializationError, match="trailing"):
+            decode(encode(1) + b"x")
+
+    def test_truncated_length(self):
+        with pytest.raises(SerializationError):
+            decode(b"i\x00\x00")
+
+    def test_truncated_bytes_body(self):
+        with pytest.raises(SerializationError):
+            decode(b"b\x00\x00\x00\x05ab")
+
+    def test_truncated_tuple_items(self):
+        with pytest.raises(SerializationError):
+            decode(b"t\x00\x00\x00\x02" + encode(1))
+
+    def test_bad_int_sign(self):
+        with pytest.raises(SerializationError):
+            decode(b"i\x00\x00\x00\x02?\x01")
+
+    def test_invalid_utf8(self):
+        with pytest.raises(SerializationError):
+            decode(b"s\x00\x00\x00\x01\xff")
+
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**200), max_value=2**200),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+)
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.tuples(children, children),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+class TestSerializationProperties:
+    @given(_values)
+    @settings(max_examples=200)
+    def test_roundtrip(self, value):
+        assert decode(encode(value)) == value
+
+    @given(_values)
+    @settings(max_examples=100)
+    def test_determinism(self, value):
+        assert encode(value) == encode(value)
+
+    @given(_values, _values)
+    @settings(max_examples=100)
+    def test_injectivity(self, a, b):
+        # Equal encodings imply equal values (1 == True in Python, but
+        # their encodings are deliberately distinct, so test this
+        # direction only).
+        if encode(a) == encode(b):
+            assert a == b
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200)
+    def test_decode_never_crashes_on_noise(self, noise):
+        # Decoding attacker-controlled bytes must fail cleanly, not crash.
+        try:
+            decode(noise)
+        except SerializationError:
+            pass

@@ -1,0 +1,233 @@
+"""Engine-level tests: round phases, ACK accounting, halt-on-divergence,
+bandwidth model, staging semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.common.types import MessageType, NodeId, ProtocolMessage
+from repro.net.simulator import SynchronousNetwork
+from repro.net.topology import Topology
+from repro.sgx.program import EnclaveProgram
+
+
+class _PingProgram(EnclaveProgram):
+    """Round 1: node 0 multicasts; receivers acknowledge and record."""
+
+    PROGRAM_NAME = "ping"
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.received = []
+
+    def on_round_begin(self, ctx) -> None:
+        if ctx.round == 1 and ctx.node_id == 0:
+            ctx.multicast(
+                ProtocolMessage(
+                    MessageType.INIT, 0, 1, b"ping", ctx.round, "ping"
+                )
+            )
+
+    def on_message(self, ctx, sender, message) -> None:
+        self.received.append((ctx.round, sender, message.payload))
+        ctx.acknowledge(sender, message)
+        if not self.has_output:
+            self._accept(ctx, message.payload)
+
+    def on_round_end(self, ctx) -> None:
+        if ctx.round >= 2 and not self.has_output:
+            self._accept(ctx, None)
+
+
+class _StagedEchoProgram(EnclaveProgram):
+    """Demonstrates Wait semantics: echo staged in on_message flows next
+    round."""
+
+    PROGRAM_NAME = "staged-echo"
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.echo_rounds = []
+
+    def on_round_begin(self, ctx) -> None:
+        if ctx.round == 1 and ctx.node_id == 0:
+            ctx.multicast(
+                ProtocolMessage(MessageType.INIT, 0, 1, b"x", ctx.round, "s")
+            )
+
+    def on_message(self, ctx, sender, message) -> None:
+        ctx.acknowledge(sender, message)
+        if message.type is MessageType.INIT:
+            # Staged: must be transmitted at the *next* round's start.
+            ctx.multicast(
+                ProtocolMessage(MessageType.ECHO, 0, 1, b"y", 0, "s")
+            )
+        elif message.type is MessageType.ECHO:
+            self.echo_rounds.append((message.rnd, ctx.round))
+            if not self.has_output:
+                self._accept(ctx, message.rnd)
+
+    def on_round_end(self, ctx) -> None:
+        if ctx.round >= 3 and not self.has_output:
+            self._accept(ctx, None)
+
+
+def _network(n, program_cls, behaviors=None, **cfg_kwargs):
+    config = SimulationConfig(n=n, **cfg_kwargs)
+    return SynchronousNetwork(config, lambda i: program_cls(i), behaviors)
+
+
+class TestEngineBasics:
+    def test_multicast_delivered_same_round(self):
+        net = _network(4, _PingProgram, seed=1)
+        result = net.run(max_rounds=3)
+        for node in (1, 2, 3):
+            program = net.nodes[node].program
+            assert program.received == [(1, 0, b"ping")]
+        assert result.outputs[1] == b"ping"
+
+    def test_early_stop_when_all_decided(self):
+        net = _network(4, _PingProgram, seed=1)
+        result = net.run(max_rounds=10)
+        assert result.rounds_executed == 2  # node 0 decides ⊥ at round 2 end
+
+    def test_staged_multicast_flows_next_round(self):
+        net = _network(3, _StagedEchoProgram, seed=2)
+        net.run(max_rounds=4)
+        for node in range(3):
+            for stamped_rnd, seen_rnd in net.nodes[node].program.echo_rounds:
+                assert stamped_rnd == 2  # stamped at transmission round
+                assert seen_rnd == 2     # delivered within it
+
+    def test_max_rounds_validation(self):
+        net = _network(3, _PingProgram, seed=0)
+        with pytest.raises(ConfigurationError):
+            net.run(max_rounds=0)
+
+    def test_topology_size_mismatch_rejected(self):
+        config = SimulationConfig(n=4)
+        with pytest.raises(ConfigurationError):
+            SynchronousNetwork(
+                config, lambda i: _PingProgram(i), topology=Topology.full_mesh(5)
+            )
+
+
+class TestAckAccounting:
+    def test_ack_traffic_counted(self):
+        net = _network(5, _PingProgram, seed=3)
+        net.run(max_rounds=2)
+        traffic = net.stats.traffic
+        assert traffic.messages_by_type[MessageType.INIT] == 4
+        assert traffic.messages_by_type[MessageType.ACK] == 4
+
+    def test_sender_survives_with_full_acks(self):
+        net = _network(5, _PingProgram, seed=3)
+        result = net.run(max_rounds=2)
+        assert result.halted == []
+
+
+class _MuteReceiverBehavior:
+    """OS that drops all incoming traffic (so its enclave never ACKs)."""
+
+    def filter_send(self, wire, rnd):
+        return ((0, wire),)
+
+    def filter_receive(self, wire, rnd):
+        return False
+
+    def drain_injections(self, rnd):
+        return ()
+
+    def on_round_end(self, rnd):
+        pass
+
+
+class TestHaltOnDivergence:
+    def test_sender_halts_without_quorum(self):
+        # 5 nodes, t=2: sender needs >= 2 ACKs.  Mute 3 receivers: only 1
+        # ACK arrives, the sender's enclave must halt.
+        behaviors = {
+            node: _MuteReceiverBehavior() for node in (1, 2, 3)
+        }
+        net = _network(5, _PingProgram, behaviors=behaviors, seed=4)
+        result = net.run(max_rounds=2)
+        assert 0 in result.halted
+
+    def test_sender_survives_at_exact_threshold(self):
+        # Mute 2 of 4 receivers: 2 ACKs = t, not below it.
+        behaviors = {node: _MuteReceiverBehavior() for node in (1, 2)}
+        net = _network(5, _PingProgram, behaviors=behaviors, seed=5)
+        result = net.run(max_rounds=2)
+        assert 0 not in result.halted
+
+    def test_halted_node_sends_nothing_afterwards(self):
+        # All receivers mute: node 0 halts in round 1 with zero ACKs and
+        # nobody ever saw the INIT, so no ECHO may ever flow.
+        behaviors = {node: _MuteReceiverBehavior() for node in (1, 2, 3, 4)}
+        net = _network(5, _StagedEchoProgram, behaviors=behaviors, seed=6)
+        result = net.run(max_rounds=4)
+        assert 0 in result.halted
+        assert net.stats.traffic.messages_by_type[MessageType.ECHO] == 0
+        assert net.stats.traffic.messages_by_type[MessageType.ACK] == 0
+
+
+class TestBandwidthModel:
+    def test_rounds_take_2delta_when_link_idle(self):
+        net = _network(4, _PingProgram, seed=7, delta=1.5)
+        result = net.run(max_rounds=2)
+        assert result.termination_seconds == pytest.approx(2 * 3.0)
+
+    def test_saturated_link_stretches_round(self):
+        # Bandwidth of 100 B/s with ~1 KB of round-1 traffic: the round
+        # must take far longer than 2 delta.
+        net = _network(4, _PingProgram, seed=8, bandwidth_bytes_per_s=100.0)
+        result = net.run(max_rounds=2)
+        round1 = net.stats.rounds[0]
+        assert round1.seconds == pytest.approx(round1.bytes / 100.0)
+        assert round1.seconds > 2.0
+
+    def test_no_bandwidth_model(self):
+        net = _network(4, _PingProgram, seed=9, bandwidth_bytes_per_s=0.0)
+        result = net.run(max_rounds=2)
+        assert result.termination_seconds == pytest.approx(4.0)
+
+
+class TestConfigValidation:
+    def test_negative_n_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n=0)
+
+    def test_default_t_is_minority(self):
+        assert SimulationConfig(n=9).t == 4
+        assert SimulationConfig(n=10).t == 4
+
+    def test_erb_bound_check(self):
+        config = SimulationConfig(n=4, t=2)
+        with pytest.raises(ConfigurationError):
+            config.require_erb_bound()
+
+    def test_erng_opt_bound_check(self):
+        config = SimulationConfig(n=9, t=4)
+        with pytest.raises(ConfigurationError):
+            config.require_erng_opt_bound()
+        SimulationConfig(n=9, t=3).require_erng_opt_bound()
+
+    def test_bad_delta_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SimulationConfig(n=3, delta=0)
+
+    def test_round_seconds(self):
+        assert SimulationConfig(n=3, delta=2.0).round_seconds == 4.0
+
+
+class TestTrustedClockIntegration:
+    def test_enclave_clocks_advance_with_rounds(self):
+        net = _network(3, _PingProgram, seed=10)
+        net.run(max_rounds=2)
+        clock = net.nodes[0].enclave.clock
+        assert clock.elapsed() == pytest.approx(net.clock.now)
+        assert clock.current_round(2.0) == 3  # after two 2s rounds

@@ -1,0 +1,164 @@
+"""Section 2.3: the attacks A2-A5 succeed against the strawman
+(Algorithm 1) and fail against the SGX-backed protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    DelayAdversary,
+    EquivocationForger,
+    LookaheadBiasAdversary,
+    ReplayAdversary,
+)
+from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.core.erb import run_erb
+from repro.core.erng import run_erng
+from repro.core.strawman import run_strawman_broadcast, run_strawman_rng
+
+from tests.conftest import plain_config, small_config
+
+
+class TestStrawmanHonest:
+    """Algorithm 1 does work when nobody attacks it."""
+
+    def test_honest_agreement(self):
+        result = run_strawman_broadcast(
+            plain_config(6, seed=0), initiator=0, message="m"
+        )
+        assert set(result.outputs.values()) == {"m"}
+
+    def test_requires_plain_channels(self):
+        with pytest.raises(ConfigurationError):
+            run_strawman_broadcast(
+                small_config(6, seed=0), initiator=0, message="m"
+            )
+
+    def test_rng_honest_agreement(self):
+        result = run_strawman_rng(plain_config(6, seed=1))
+        assert len(set(result.outputs.values())) == 1
+
+
+class TestEquivocationAttackA2:
+    """A byzantine initiator sends m to some peers and m' to others."""
+
+    def _attack(self, seed):
+        behaviors = {0: EquivocationForger(fooled={4, 5}, forged_payload="evil")}
+        return run_strawman_broadcast(
+            plain_config(6, t=2, seed=seed),
+            initiator=0,
+            message="good",
+            behaviors=behaviors,
+        )
+
+    def test_splits_honest_nodes_on_strawman(self):
+        result = self._attack(seed=2)
+        honest_values = set(result.honest_outputs({0}).values())
+        assert len(honest_values) > 1  # agreement violated
+
+    def test_same_attack_fails_on_erb(self):
+        behaviors = {0: EquivocationForger(fooled={4, 5}, forged_payload="evil")}
+        result = run_erb(
+            small_config(6, t=2, seed=2),
+            initiator=0,
+            message="good",
+            behaviors=behaviors,
+        )
+        honest_values = set(result.honest_outputs({0}).values())
+        assert len(honest_values) == 1
+        assert "evil" not in honest_values
+
+
+class TestLookaheadBiasAttackA4:
+    """Withhold-and-release against distributed XOR randomness."""
+
+    FAVOURABLE = staticmethod(lambda value: value % 2 == 0)
+    TRIALS = 60
+
+    def _bias_trials(self, runner, config_factory):
+        hits = 0
+        for seed in range(self.TRIALS):
+            adversary = LookaheadBiasAdversary(0, self.FAVOURABLE)
+            result = runner(config_factory(seed), behaviors={0: adversary})
+            honest = result.honest_outputs({0})
+            value = next(iter(honest.values()))
+            assert len(set(honest.values())) == 1
+            if self.FAVOURABLE(value):
+                hits += 1
+        return hits / self.TRIALS
+
+    def test_biases_strawman_rng(self):
+        rate = self._bias_trials(
+            run_strawman_rng,
+            lambda seed: plain_config(5, seed=seed, random_bits=16),
+        )
+        # Theory: 3/4 favourable.  Binomial(60, .75) below 0.63 has
+        # p < 0.02; Binomial(60, .5) above 0.63 has p < 0.03.
+        assert rate > 0.63
+
+    def test_does_not_bias_erng(self):
+        rate = self._bias_trials(
+            run_erng,
+            lambda seed: small_config(5, seed=seed, random_bits=16),
+        )
+        assert rate < 0.63
+
+    def test_adversary_reads_plaintext_only_on_strawman(self):
+        adversary = LookaheadBiasAdversary(0, self.FAVOURABLE)
+        run_strawman_rng(
+            plain_config(5, seed=99, random_bits=16), behaviors={0: adversary}
+        )
+        assert adversary._own_value is not None  # visible without SGX
+
+        adversary2 = LookaheadBiasAdversary(0, self.FAVOURABLE)
+        run_erng(
+            small_config(5, seed=99, random_bits=16), behaviors={0: adversary2}
+        )
+        assert adversary2._own_value is None  # P3: hidden by the channel
+
+
+class TestReplayAttackA5:
+    def test_replay_accepted_by_strawman(self):
+        # The strawman has no freshness tracking: replayed INITs are
+        # re-processed without complaint (no rejections recorded).
+        result = run_strawman_rng(
+            plain_config(5, seed=3),
+            behaviors={1: ReplayAdversary(replay_after_rounds=1, burst=8)},
+        )
+        assert result.traffic.rejections == 0
+
+    def test_replay_rejected_by_erb(self):
+        result = run_erb(
+            small_config(5, seed=3),
+            initiator=0,
+            message=b"x",
+            behaviors={1: ReplayAdversary(replay_after_rounds=1, burst=8)},
+        )
+        assert result.traffic.rejections > 0
+
+
+class TestDelayAttackA4Lockstep:
+    def test_late_contribution_counted_by_strawman(self):
+        """The strawman accepts round-2 arrivals of round-1 messages."""
+        result = run_strawman_rng(
+            plain_config(5, seed=4), behaviors={0: DelayAdversary(1)}
+        )
+        # All nodes (including honest) still XOR node 0's late value in:
+        # outputs would differ from the honest-only XOR.
+        honest_only = run_strawman_rng(
+            plain_config(5, seed=4),
+            behaviors={0: DelayAdversary(10)},  # effectively silent
+        )
+        assert result.outputs[1] != honest_only.outputs[1]
+
+    def test_late_contribution_rejected_by_erng(self):
+        """Lockstep (P5): the delayed INIT is stale, ERNG excludes it —
+        same output as if the node were silent."""
+        delayed = run_erng(
+            small_config(5, seed=4), behaviors={0: DelayAdversary(1)}
+        )
+        silent = run_erng(
+            small_config(5, seed=4), behaviors={0: DelayAdversary(10)}
+        )
+        assert delayed.outputs[1] == silent.outputs[1]

@@ -1,0 +1,86 @@
+"""Tests for topologies (assumption S5 and its Appendix G relaxation)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.net.topology import Topology
+
+
+class TestFullMesh:
+    def test_everyone_connected(self):
+        topo = Topology.full_mesh(5)
+        for a in range(5):
+            for b in range(5):
+                if a != b:
+                    assert topo.are_connected(a, b)
+
+    def test_no_self_loops(self):
+        topo = Topology.full_mesh(5)
+        for node in range(5):
+            assert node not in topo.neighbours(node)
+
+    def test_degree(self):
+        topo = Topology.full_mesh(7)
+        assert all(topo.degree(node) == 6 for node in range(7))
+
+    def test_is_full_mesh_flag(self):
+        assert Topology.full_mesh(4).is_full_mesh
+
+    def test_connected(self):
+        assert Topology.full_mesh(10).is_connected()
+
+    def test_edge_count(self):
+        topo = Topology.full_mesh(6)
+        assert len(list(topo.edges())) == 15  # C(6,2)
+
+    def test_singleton(self):
+        topo = Topology.full_mesh(1)
+        assert topo.neighbours(0) == frozenset()
+        assert topo.is_connected()
+
+
+class TestRandomRegular:
+    def test_connected_whp(self):
+        rng = DeterministicRNG("expander")
+        topo = Topology.random_regular(64, 4, rng)
+        assert topo.is_connected()
+
+    def test_degree_bounds(self):
+        rng = DeterministicRNG("deg")
+        topo = Topology.random_regular(50, 6, rng)
+        # Union of 3 Hamiltonian cycles: degree between 2 and 6.
+        for node in range(50):
+            assert 2 <= topo.degree(node) <= 6
+
+    def test_not_full_mesh(self):
+        rng = DeterministicRNG("sparse")
+        topo = Topology.random_regular(30, 4, rng)
+        assert not topo.is_full_mesh
+
+    def test_symmetric(self):
+        rng = DeterministicRNG("sym")
+        topo = Topology.random_regular(20, 4, rng)
+        for a, b in topo.edges():
+            assert topo.are_connected(a, b)
+            assert topo.are_connected(b, a)
+
+    def test_odd_degree_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology.random_regular(10, 3, DeterministicRNG(0))
+
+    def test_tiny_network_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Topology.random_regular(2, 2, DeterministicRNG(0))
+
+    @given(st.integers(min_value=5, max_value=40), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30)
+    def test_always_connected_property(self, n, seed):
+        # A single Hamiltonian cycle is connected by construction; the
+        # superposition keeps that invariant for any n and seed.
+        topo = Topology.random_regular(n, 4, DeterministicRNG(seed))
+        assert topo.is_connected()

@@ -1,0 +1,99 @@
+"""Commit-reveal voting with ERNG tie-breaking (Appendix H)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import DelayAdversary
+from repro.apps.voting import CommitRevealPoll, _commitment
+from repro.common.errors import ConfigurationError, ProtocolError
+
+
+class TestCommitment:
+    def test_binding(self):
+        assert _commitment("A", b"n1") != _commitment("B", b"n1")
+        assert _commitment("A", b"n1") != _commitment("A", b"n2")
+
+    def test_deterministic(self):
+        assert _commitment("A", b"n") == _commitment("A", b"n")
+
+
+class TestPollBasics:
+    def test_clear_majority(self):
+        poll = CommitRevealPoll(n=5, options=["yes", "no"], seed=1)
+        result = poll.run({0: "yes", 1: "yes", 2: "yes", 3: "no", 4: "no"})
+        assert result.winner == "yes"
+        assert result.tally == {"yes": 3, "no": 2}
+        assert not result.tie_broken
+        assert result.discarded == 0
+
+    def test_abstentions_allowed(self):
+        poll = CommitRevealPoll(n=5, options=["a", "b"], seed=2)
+        result = poll.run({0: "a", 2: "a", 4: "b"})
+        assert result.winner == "a"
+        assert result.revealed == 3
+
+    def test_tie_break_is_common_and_unbiased_source(self):
+        poll = CommitRevealPoll(n=4, options=["a", "b"], seed=3)
+        result = poll.run({0: "a", 1: "b"})
+        assert result.tie_broken
+        assert result.tie_break_value is not None
+        assert result.winner in ("a", "b")
+
+    def test_tie_break_deterministic_per_seed(self):
+        first = CommitRevealPoll(n=4, options=["a", "b"], seed=4).run(
+            {0: "a", 1: "b"}
+        )
+        second = CommitRevealPoll(n=4, options=["a", "b"], seed=4).run(
+            {0: "a", 1: "b"}
+        )
+        assert first.winner == second.winner
+        assert first.tie_break_value == second.tie_break_value
+
+    def test_tie_break_varies_with_seed(self):
+        winners = {
+            CommitRevealPoll(n=4, options=["a", "b"], seed=s).run(
+                {0: "a", 1: "b"}
+            ).winner
+            for s in range(10)
+        }
+        assert winners == {"a", "b"}  # both outcomes occur across seeds
+
+    def test_no_ballots_rejected(self):
+        poll = CommitRevealPoll(n=3, options=["a", "b"], seed=5)
+        with pytest.raises(ProtocolError):
+            poll.run({})
+
+    def test_unknown_option_rejected(self):
+        poll = CommitRevealPoll(n=3, options=["a", "b"], seed=6)
+        with pytest.raises(ConfigurationError):
+            poll.run({0: "c"})
+
+    def test_configuration_validation(self):
+        with pytest.raises(ConfigurationError):
+            CommitRevealPoll(n=3, options=["only"])
+        with pytest.raises(ConfigurationError):
+            CommitRevealPoll(n=3, options=["a", "a"])
+
+
+class TestPollUnderAttack:
+    def test_byzantine_voter_cannot_block_the_poll(self):
+        poll = CommitRevealPoll(
+            n=7, options=["x", "y"], seed=7,
+            behaviors={3: DelayAdversary(3)},
+        )
+        result = poll.run({0: "x", 1: "x", 2: "y", 3: "y", 4: "x"})
+        # Node 3's commitments/reveals never land (delayed => stale):
+        # its ballot silently drops, the rest tally normally.
+        assert result.winner == "x"
+        assert result.tally["x"] == 3
+        assert result.tally.get("y", 0) == 1
+
+    def test_delayed_voter_counts_as_abstained_not_equivocated(self):
+        poll = CommitRevealPoll(
+            n=5, options=["x", "y"], seed=8,
+            behaviors={1: DelayAdversary(2)},
+        )
+        result = poll.run({0: "x", 1: "y", 2: "x"})
+        assert result.discarded == 0
+        assert result.revealed == 2

@@ -21,7 +21,14 @@ import os
 from pathlib import Path
 from typing import Dict, List, Sequence
 
+from repro.obs.metrics import PROFILER, MetricsRegistry
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Shared metrics registry: benchmark modules feed run statistics into it
+#: via :func:`record_run`; :func:`save_results` snapshots it into a
+#: ``<name>.metrics.json`` sidecar next to each results file.
+METRICS = MetricsRegistry()
 
 SCALE = os.environ.get("REPRO_BENCH_SCALE", "default").lower()
 if SCALE not in ("smoke", "default", "full"):
@@ -64,13 +71,32 @@ def _fmt(cell) -> str:
     return str(cell)
 
 
+def record_run(result) -> None:
+    """Feed one simulation's RunStats into the shared metrics registry."""
+    result.stats.publish(METRICS)
+
+
 def save_results(name: str, payload: Dict) -> None:
-    """Persist one benchmark's rows for EXPERIMENTS.md."""
+    """Persist one benchmark's rows for EXPERIMENTS.md.
+
+    Alongside ``<name>.json`` this writes a ``<name>.metrics.json``
+    sidecar with whatever accumulated in :data:`METRICS` (and the
+    profiler registry, when wall-clock profiling was enabled).
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     payload = dict(payload)
     payload["scale"] = SCALE
     with open(RESULTS_DIR / f"{name}.json", "w") as fh:
         json.dump(payload, fh, indent=2, default=str)
+    sidecar: Dict = {
+        "benchmark": name,
+        "scale": SCALE,
+        "metrics": METRICS.as_dict(),
+    }
+    if PROFILER.enabled and PROFILER.registry is not None:
+        sidecar["profile"] = PROFILER.registry.as_dict()
+    with open(RESULTS_DIR / f"{name}.metrics.json", "w") as fh:
+        json.dump(sidecar, fh, indent=2, default=str)
 
 
 def growth_exponent(xs: Sequence[float], ys: Sequence[float]) -> float:

@@ -4,7 +4,6 @@ parameters (N = 2^10, p = 2^-5, λ = 30 → r ≈ 2500)."""
 
 from __future__ import annotations
 
-import math
 
 from bench_common import pick, print_table, save_results
 

@@ -11,7 +11,10 @@ regressions that would make the figure sweeps impractical:
 
 from __future__ import annotations
 
+from time import perf_counter
+
 from repro import SimulationConfig, run_erb, run_erng
+from repro.obs import NullSink, Tracer
 from repro.channel.peer_channel import SecureChannel
 from repro.common.config import ChannelSecurity
 from repro.common.rng import DeterministicRNG
@@ -66,3 +69,39 @@ def test_full_channel_roundtrip(benchmark):
 
     received = benchmark.pedantic(roundtrip, rounds=50, iterations=10)
     assert received.payload == b"x" * 64
+
+
+def test_noop_tracer_overhead():
+    """A tracer with only inactive sinks must cost (nearly) nothing.
+
+    Compares min-of-5 wall times of the same ERB run with the default
+    NULL_TRACER against an explicit ``Tracer(NullSink())``; the engine
+    short-circuits on ``tracer.enabled`` so the delta should be noise.
+    The bound is <5% plus a 10 ms absolute floor to keep tiny-denominator
+    jitter from flaking the suite.
+    """
+
+    def run(tracer=None):
+        result = run_erb(
+            SimulationConfig(n=48, seed=20, tracer=tracer),
+            initiator=0,
+            message=b"perf",
+        )
+        assert result.rounds_executed == 2
+        return result
+
+    def timed(tracer_factory):
+        best = float("inf")
+        for _ in range(5):
+            tracer = tracer_factory()
+            t0 = perf_counter()
+            run(tracer)
+            best = min(best, perf_counter() - t0)
+        return best
+
+    run()  # warm-up: imports, allocator, branch caches
+    base = timed(lambda: None)
+    noop = timed(lambda: Tracer(NullSink()))
+    assert noop <= base * 1.05 + 0.01, (
+        f"no-op tracer overhead too high: {noop:.4f}s vs {base:.4f}s baseline"
+    )

@@ -8,7 +8,7 @@ the two-round behaviour and the bandwidth knee.
 
 from __future__ import annotations
 
-from bench_common import pick, powers_of_two, print_table, save_results
+from bench_common import pick, powers_of_two, print_table, record_run, save_results
 
 from repro import SimulationConfig, run_erb
 
@@ -31,6 +31,7 @@ def _sweep():
         config = SimulationConfig(n=n, seed=1)
         result = run_erb(config, initiator=0, message=b"fig2a-payload")
         assert set(result.outputs.values()) == {b"fig2a-payload"}
+        record_run(result)
         tight_config = SimulationConfig(
             n=n, seed=1, bandwidth_bytes_per_s=TIGHT_LINK
         )

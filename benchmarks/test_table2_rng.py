@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import math
 
-from bench_common import growth_exponent, pick, powers_of_two, print_table, save_results
+from bench_common import growth_exponent, pick, print_table, save_results
 
 from repro import ClusterConfig, SimulationConfig, run_erng, run_optimized_erng
 from repro.adversary import DelayAdversary

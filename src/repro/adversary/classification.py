@@ -3,9 +3,10 @@
 The paper defines four progressively stronger modes of the peer channel —
 honest ⊂ general-omission ⊂ ROD ⊂ byzantine — by *what the OS did to the
 data the enclave wrote*.  When a simulation runs with
-``config.extra["trace_actions"] = True`` the engine records every OS
-action on every wire message; :func:`classify_node` then maps each node's
-action multiset to the *minimal* mode of Definition A.5 that explains it:
+``config.extra["trace_actions"] = True`` (or any tracer with a memory
+sink, see :mod:`repro.obs.tracer`) the engine records every OS action on
+every wire message; :func:`classify_node` then maps each node's action
+multiset to the *minimal* mode of Definition A.5 that explains it:
 
 * only faithful forwarding                        → ``HONEST``
 * plus send/receive drops                         → ``GENERAL_OMISSION``
@@ -94,6 +95,38 @@ def classify_actions(actions: Iterable[WireAction]) -> AdversaryModel:
         if _MODE_ORDER.index(mode) > _MODE_ORDER.index(worst):
             worst = mode
     return worst
+
+
+#: Wire-event action strings that correspond to Definition A.5 actions.
+#: The tracer additionally emits ``send`` / ``flush`` / ``reject`` /
+#: ``omit_dead`` events that have no counterpart in the definition (they
+#: describe honest transmissions and channel bookkeeping, not OS
+#: misbehaviour) — those are excluded so the view reproduces the legacy
+#: ``ActionTrace`` records exactly.
+_WIRE_ACTION_BY_VALUE: Dict[str, WireAction] = {
+    action.value: action for action in WireAction
+}
+
+
+def trace_from_wire_events(events: Iterable) -> ActionTrace:
+    """Rebuild an :class:`ActionTrace` from tracer wire events.
+
+    ``events`` is any iterable of :class:`repro.obs.events.WireEvent`-like
+    objects (duck-typed: ``actor`` / ``rnd`` / ``action`` attributes).
+    Events whose ``actor`` is None or whose action is not one of the
+    Definition A.5 actions are skipped, making the result record-for-record
+    identical to what the pre-tracer engine produced.
+    """
+    trace = ActionTrace()
+    records = trace.records
+    for event in events:
+        actor = event.actor
+        if actor is None:
+            continue
+        action = _WIRE_ACTION_BY_VALUE.get(event.action)
+        if action is not None:
+            records.append(ActionRecord(actor=actor, rnd=event.rnd, action=action))
+    return trace
 
 
 def classify_node(trace: ActionTrace, node: NodeId) -> AdversaryModel:

@@ -16,7 +16,7 @@ fails.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG

@@ -10,7 +10,7 @@ node can recompute and audit the whole walk from the single agreed value.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG

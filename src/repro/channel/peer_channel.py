@@ -19,7 +19,8 @@ most once* — everything else is surfaced as an omission.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
+from time import perf_counter
 from typing import Dict, Optional, Tuple
 
 from repro.common.config import CHANNEL_OVERHEAD_BYTES, ChannelSecurity
@@ -32,6 +33,7 @@ from repro.crypto.aead import AEAD, AeadKey
 from repro.crypto.dh import DhGroup, DiffieHellman, MODP_2048
 from repro.crypto.kdf import hkdf
 from repro.crypto.mac import KEY_SIZE
+from repro.obs.metrics import PROFILER
 from repro.sgx.enclave import Enclave
 
 #: Length framing added by the transport on top of the sealed body.
@@ -186,9 +188,12 @@ class SecureChannel:
         counter = self.next_counter(sender)
         if self.security is ChannelSecurity.FULL:
             assert self._aead is not None
+            t0 = perf_counter() if PROFILER.enabled else None
             plaintext = encode((counter, measurement, message.to_tuple()))
             direction = f"{sender}->{receiver}".encode()
             sealed = self._aead.seal(plaintext, rng, associated_data=direction)
+            if t0 is not None:
+                PROFILER.observe("channel.write_s", perf_counter() - t0)
             size = len(sealed) + _FRAMING_BYTES
             return WireMessage(
                 sender=sender,
@@ -228,9 +233,12 @@ class SecureChannel:
 
         if self.security is ChannelSecurity.FULL:
             assert self._aead is not None
+            t0 = perf_counter() if PROFILER.enabled else None
             direction = f"{sender}->{receiver}".encode()
             plaintext = self._aead.open(wire.sealed, associated_data=direction)
             counter, measurement, raw = decode(plaintext)
+            if t0 is not None:
+                PROFILER.observe("channel.read_s", perf_counter() - t0)
             if expected_measurement is not None and measurement != expected_measurement:
                 raise IntegrityError("message bound to a different program (H(pi) mismatch)")
             self._guards[sender].check_and_update(counter)
@@ -256,6 +264,11 @@ def modeled_wire_size(message: ProtocolMessage) -> int:
     tag, measurement binding, framing) — calibrated so an ERB INIT lands
     near the ~100 B and an ACK near the ~80 B reported in Section 6.1.
     """
+    if PROFILER.enabled:
+        t0 = perf_counter()
+        body = len(encode(message.to_tuple()))
+        PROFILER.observe("serialize.encode_s", perf_counter() - t0)
+        return body + CHANNEL_OVERHEAD_BYTES
     return len(encode(message.to_tuple())) + CHANNEL_OVERHEAD_BYTES
 
 

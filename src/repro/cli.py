@@ -4,6 +4,8 @@ Examples::
 
     python -m repro erb --n 32 --initiator 0 --message hello
     python -m repro erb --n 32 --chain 6          # Fig. 2c worst case
+    python -m repro erb --n 16 --trace-out /tmp/t.jsonl
+    python -m repro inspect /tmp/t.jsonl          # per-round timeline
     python -m repro erng --n 16
     python -m repro erng-opt --n 120 --gamma 7
     python -m repro agreement --n 9 --inputs A,A,B,A,B,A,A,B,A
@@ -14,6 +16,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import List, Optional
 
@@ -28,6 +31,42 @@ from repro.adversary import chain_delay_strategy
 from repro.apps.beacon import RandomBeacon
 from repro.core.agreement import run_byzantine_agreement
 from repro.core.churn import ChurnDriver
+from repro.obs import JsonlSink, Tracer, read_trace, render_timeline
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Wire ``-v`` / ``-vv`` to the ``repro`` logger hierarchy.
+
+    One ``-v`` surfaces protocol decisions (INFO on ``repro.protocol``);
+    two show the engine's per-round summaries as well (DEBUG everywhere).
+    """
+    if verbosity <= 0:
+        return
+    root = logging.getLogger("repro")
+    if root.handlers:  # repeated main() calls must not stack handlers
+        root.setLevel(logging.DEBUG if verbosity >= 2 else logging.INFO)
+        return
+    handler = logging.StreamHandler(sys.stderr)
+    handler.setFormatter(logging.Formatter("%(levelname).1s %(name)s: %(message)s"))
+    root.addHandler(handler)
+    root.setLevel(logging.DEBUG if verbosity >= 2 else logging.INFO)
+
+
+def _tracer_for(args: argparse.Namespace) -> Optional[Tracer]:
+    """Build a JSONL-backed tracer when ``--trace-out`` was given."""
+    path = getattr(args, "trace_out", None)
+    if not path:
+        return None
+    try:
+        return Tracer(JsonlSink(path))
+    except OSError as exc:
+        raise SystemExit(f"error: cannot write trace to {path}: {exc}")
+
+
+def _finish_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
+    if tracer is not None:
+        tracer.close()
+        print(f"trace written to {args.trace_out}", file=sys.stderr)
 
 
 def _print_result(result, label: str) -> None:
@@ -41,7 +80,8 @@ def _print_result(result, label: str) -> None:
 
 
 def _cmd_erb(args: argparse.Namespace) -> int:
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    tracer = _tracer_for(args)
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
     behaviors = None
     if args.chain:
         behaviors = chain_delay_strategy(
@@ -56,25 +96,30 @@ def _cmd_erb(args: argparse.Namespace) -> int:
         message=args.message.encode("utf-8"),
         behaviors=behaviors,
     )
+    _finish_trace(tracer, args)
     _print_result(result, f"ERB broadcast over N={args.n}")
     return 0
 
 
 def _cmd_erng(args: argparse.Namespace) -> int:
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    tracer = _tracer_for(args)
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
     result = run_erng(config)
+    _finish_trace(tracer, args)
     _print_result(result, f"unoptimized ERNG over N={args.n}")
     return 0
 
 
 def _cmd_erng_opt(args: argparse.Namespace) -> int:
     t = args.t if args.t >= 0 else args.n // 3
-    config = SimulationConfig(n=args.n, t=t, seed=args.seed)
+    tracer = _tracer_for(args)
+    config = SimulationConfig(n=args.n, t=t, seed=args.seed, tracer=tracer)
     cluster = ClusterConfig(
         mode=args.mode,
         gamma=args.gamma,
     )
     result = run_optimized_erng(config, cluster=cluster)
+    _finish_trace(tracer, args)
     _print_result(result, f"optimized ERNG over N={args.n} ({args.mode})")
     return 0
 
@@ -88,15 +133,23 @@ def _cmd_agreement(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    tracer = _tracer_for(args)
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
     result = run_byzantine_agreement(
         config, {i: value for i, value in enumerate(inputs_list)}
     )
+    _finish_trace(tracer, args)
     _print_result(result, f"byzantine agreement over N={args.n}")
     return 0
 
 
 def _cmd_beacon(args: argparse.Namespace) -> int:
+    if getattr(args, "trace_out", None):
+        # The beacon builds a fresh SimulationConfig per epoch internally.
+        print(
+            "note: --trace-out is not supported for the beacon; ignoring",
+            file=sys.stderr,
+        )
     beacon = RandomBeacon(n=args.n, t=args.t, seed=args.seed)
     for _ in range(args.epochs):
         record = beacon.next_beacon()
@@ -110,11 +163,13 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
 
 def _cmd_churn(args: argparse.Namespace) -> int:
     byzantine = [int(x) for x in args.byzantine.split(",")] if args.byzantine else []
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed)
+    tracer = _tracer_for(args)
+    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
     driver = ChurnDriver(
         config, byzantine=byzantine, misbehave_p=args.p, seed=args.seed
     )
     report = driver.run(args.instances)
+    _finish_trace(tracer, args)
     print(f"live byzantine per instance: {report.live_byzantine}")
     print(f"ejection order:              {report.ejected_order}")
     print(
@@ -126,6 +181,19 @@ def _cmd_churn(args: argparse.Namespace) -> int:
         "network sanitized at instance "
         + (str(sanitized) if sanitized >= 0 else "(not yet)")
     )
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    try:
+        events = read_trace(args.trace)
+    except OSError as exc:
+        print(f"error: cannot read trace: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError) as exc:
+        print(f"error: {args.trace} is not a trace file: {exc}", file=sys.stderr)
+        return 2
+    print(render_timeline(events))
     return 0
 
 
@@ -146,6 +214,15 @@ def build_parser() -> argparse.ArgumentParser:
             help="byzantine bound (default: protocol maximum)",
         )
         p.add_argument("--seed", type=int, default=0, help="simulation seed")
+        p.add_argument(
+            "--trace-out", default=None, metavar="PATH",
+            help="write a JSONL trace of the run (inspect with "
+            "`python -m repro inspect PATH`)",
+        )
+        p.add_argument(
+            "-v", "--verbose", action="count", default=0,
+            help="-v: protocol decisions; -vv: per-round engine detail",
+        )
 
     p_erb = sub.add_parser("erb", help="run one reliable broadcast")
     common(p_erb)
@@ -196,13 +273,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_churn.add_argument("--instances", type=int, default=20)
     p_churn.set_defaults(func=_cmd_churn)
 
+    p_inspect = sub.add_parser(
+        "inspect", help="render a --trace-out JSONL file as a round timeline"
+    )
+    p_inspect.add_argument("trace", help="path to a trace.jsonl file")
+    p_inspect.set_defaults(func=_cmd_inspect)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    _configure_logging(getattr(args, "verbose", 0))
+    try:
+        return args.func(args)
+    except BrokenPipeError:  # e.g. `repro inspect ... | head`
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

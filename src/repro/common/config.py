@@ -16,8 +16,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.tracer import Tracer
 
 
 class ChannelSecurity(enum.Enum):
@@ -79,6 +83,9 @@ class SimulationConfig:
             this.
         random_bits: width k of random values in {0,1}^k exchanged by the
             RNG protocols.
+        tracer: optional :class:`repro.obs.tracer.Tracer` the engine and
+            protocols emit structured events into.  ``None`` (the
+            default) runs untraced at zero overhead.
     """
 
     n: int
@@ -90,6 +97,7 @@ class SimulationConfig:
     seed: int = 0
     random_bits: int = 128
     extra: dict = field(default_factory=dict)
+    tracer: Optional["Tracer"] = None
 
     def __post_init__(self) -> None:
         if self.n < 1:

@@ -135,6 +135,15 @@ class InteractiveConsistencyProgram(EnclaveProgram):
         self.vector = {
             core.initiator: core.output for core in self.cores.values()
         }
+        tracer = getattr(ctx, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.protocol(
+                "ic_vector",
+                node=self.node_id,
+                rnd=ctx.round,
+                settled=sum(1 for v in self.vector.values() if v is not None),
+                bottoms=sum(1 for v in self.vector.values() if v is None),
+            )
         if self.rule is None:
             # Freeze the vector itself as the output (hashable form).
             self._accept(ctx, tuple(sorted(self.vector.items(), key=lambda kv: kv[0])))

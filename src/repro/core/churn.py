@@ -18,8 +18,11 @@ abstract process.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Sequence
+
+_LOG = logging.getLogger("repro.protocol")
 
 from repro.adversary.behaviors import OSBehavior, Transmission
 from repro.channel.peer_channel import WireMessage
@@ -143,9 +146,11 @@ class ChurnDriver:
                 )
             result = network.run(max_rounds=self.config.t + 2)
             report.rounds_per_instance.append(result.rounds_executed)
-            for node in result.halted:
-                if node not in report.ejected_order:
-                    report.ejected_order.append(node)
+            newly_ejected = [
+                node for node in result.halted
+                if node not in report.ejected_order
+            ]
+            report.ejected_order.extend(newly_ejected)
             live = sum(
                 1 for node in self.byzantine if network.nodes[node].alive
             )
@@ -155,7 +160,21 @@ class ChurnDriver:
                 for node, value in result.outputs.items()
                 if node in self._honest and network.nodes[node].alive
             }
-            if len(honest_values) == 1:
+            agreement_held = len(honest_values) == 1
+            if agreement_held:
                 report.agreements_held += 1
+            network.tracer.churn(
+                instance=self._instance,
+                live_byzantine=live,
+                rounds=result.rounds_executed,
+                agreement_held=agreement_held,
+                ejected=newly_ejected,
+            )
+            _LOG.info(
+                "churn instance %d: %d rounds, ejected %s, "
+                "%d byzantine still live",
+                self._instance, result.rounds_executed,
+                newly_ejected or "none", live,
+            )
             self._instance += 1
         return report

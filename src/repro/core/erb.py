@@ -31,7 +31,7 @@ core as a runnable enclave program.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.common.config import SimulationConfig
 from repro.common.types import MessageType, NodeId, ProtocolMessage
@@ -197,6 +197,16 @@ class ErbCore:
         if not self.decided and len(self.s_echo) >= self.accept_quorum:
             self.output = self.m_hat
             self.decided_round = ctx.round
+            tracer = getattr(ctx, "tracer", None)
+            if tracer is not None and tracer.enabled:
+                tracer.protocol(
+                    "erb_accept",
+                    node=ctx.node_id,
+                    rnd=ctx.round,
+                    instance=self.instance,
+                    senders=len(self.s_echo),
+                    quorum=self.accept_quorum,
+                )
 
 
 class ErbProgram(EnclaveProgram):

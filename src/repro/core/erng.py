@@ -117,6 +117,15 @@ class ErngProgram(EnclaveProgram):
             for core in self.cores.values()
             if core.output is not None
         }
+        tracer = getattr(ctx, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.protocol(
+                "erng_final_set",
+                node=ctx.node_id,
+                rnd=ctx.round,
+                contributors=sorted(self.final_set),
+                dropped=self.n - len(self.final_set),
+            )
         self._accept(ctx, xor_fold(self.final_set.values()))
 
 

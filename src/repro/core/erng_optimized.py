@@ -167,6 +167,16 @@ class OptimizedErngProgram(EnclaveProgram):
             self.is_member = ctx.rdrand.random_range(span) == 0
         if self.is_member:
             self.s_chosen.add(self.node_id)
+            tracer = getattr(ctx, "tracer", None)
+            if tracer is not None and tracer.enabled:
+                tracer.protocol(
+                    "cluster_elected",
+                    node=self.node_id,
+                    rnd=ctx.round,
+                    instance="erng-opt",
+                    mode=self.cluster_config.mode,
+                    gamma=self.gamma,
+                )
             chosen = ProtocolMessage(
                 type=MessageType.CHOSEN,
                 initiator=self.node_id,
@@ -212,6 +222,15 @@ class OptimizedErngProgram(EnclaveProgram):
             gamma2 = max(1, math.isqrt(self.gamma))
             self.is_initiator = ctx.rdrand.random_range(gamma2) == 0
         if self.is_initiator:
+            tracer = getattr(ctx, "tracer", None)
+            if tracer is not None and tracer.enabled:
+                tracer.protocol(
+                    "cluster_initiator",
+                    node=self.node_id,
+                    rnd=ctx.round,
+                    instance="erng-opt",
+                    cluster_size=len(self.s_chosen),
+                )
             instance = self._instance(self.node_id)
             core = self._core_for(instance, self.node_id)
             core.begin(ctx, ctx.rdrand.random_bits(self.random_bits))
@@ -299,6 +318,16 @@ class OptimizedErngProgram(EnclaveProgram):
         )
         self.my_set = tuple(values)
         self.final_sent = True
+        tracer = getattr(ctx, "tracer", None)
+        if tracer is not None and tracer.enabled:
+            tracer.protocol(
+                "final_sent",
+                node=self.node_id,
+                rnd=ctx.round,
+                instance="erng-opt",
+                set_size=len(self.my_set),
+                threshold=self._final_threshold(),
+            )
         final = ProtocolMessage(
             type=MessageType.FINAL,
             initiator=self.node_id,

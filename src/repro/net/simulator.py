@@ -35,11 +35,12 @@ The engine stops once every live node's program has produced an output
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import logging
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.adversary.behaviors import OSBehavior
-from repro.adversary.classification import ActionTrace, WireAction
+from repro.adversary.classification import ActionTrace, trace_from_wire_events
 from repro.channel.peer_channel import WireMessage
 from repro.common.config import ChannelSecurity, SimulationConfig
 from repro.common.errors import (
@@ -56,6 +57,8 @@ from repro.crypto.dh import MODP_768, MODP_2048
 from repro.crypto.hashing import hash_bytes
 from repro.net.stats import RoundRecord, RunStats, TrafficStats
 from repro.net.topology import Topology
+from repro.obs.events import RoundSpan
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.net.transport import (
     FullTransport,
     ModeledTransport,
@@ -69,6 +72,11 @@ from repro.sgx.trusted_time import SimulationClock
 
 #: Value accepted when a protocol times out without deciding (the paper's ⊥).
 BOTTOM = None
+
+#: Engine-level diagnostics (per-round summaries) — DEBUG.
+_LOG = logging.getLogger("repro.engine")
+#: Protocol-visible events (halt-on-divergence ejections) — INFO.
+_PROTOCOL_LOG = logging.getLogger("repro.protocol")
 
 
 @dataclass
@@ -160,6 +168,11 @@ class EnclaveContext:
     @property
     def rdrand(self):
         return self._network.nodes[self.node_id].enclave.rdrand
+
+    @property
+    def tracer(self) -> Tracer:
+        """The run's tracer (the disabled NULL_TRACER when untraced)."""
+        return self._network.tracer
 
     @property
     def clock(self):
@@ -308,11 +321,31 @@ class SynchronousNetwork:
         self._pending_handles: Dict[Tuple[NodeId, tuple], MulticastHandle] = {}
         self._ack_size_cache: Dict[tuple, int] = {}
         self._in_round_begin = False
-        # Optional Definition A.5 instrumentation (see
-        # repro.adversary.classification).
-        self.action_trace: Optional[ActionTrace] = (
-            ActionTrace() if config.extra.get("trace_actions") else None
-        )
+        # The observability hub.  config.tracer wins; the legacy
+        # extra["trace_actions"] flag gets a memory tracer so the
+        # Definition A.5 `action_trace` view below keeps working; the
+        # default is the permanently disabled NULL_TRACER (zero overhead:
+        # the engine checks one boolean before building any event).
+        tracer = config.tracer
+        if tracer is None:
+            tracer = (
+                Tracer.memory()
+                if config.extra.get("trace_actions")
+                else NULL_TRACER
+            )
+        self.tracer: Tracer = tracer
+
+    @property
+    def action_trace(self) -> Optional[ActionTrace]:
+        """Definition A.5 instrumentation as a view over the tracer.
+
+        Available when the tracer retains events in memory (the
+        ``extra["trace_actions"]`` flag, or any tracer with a
+        :class:`repro.obs.tracer.MemorySink`); None otherwise.
+        """
+        if not self.tracer.enabled or self.tracer.events is None:
+            return None
+        return trace_from_wire_events(self.tracer.wire_events())
 
     # ------------------------------------------------------------------
     # queueing API used by EnclaveContext
@@ -450,11 +483,17 @@ class SynchronousNetwork:
         nodes = self.nodes
         traffic = self.stats.traffic
         transport = self.transport
+        tracer = self.tracer
+        traced = tracer.enabled
+        omissions_before = traffic.omissions
+        rejections_before = traffic.rejections
         self._pending_handles.clear()
 
         # Phase 1: round begin.  Staged multicasts from last round move to
         # the live queue first so their relative order is stable.
         self._outbox_now, self._outbox_next = self._outbox_next, []
+        if traced:
+            tracer.phase(rnd, "begin", count=len(self._outbox_now))
         self._in_round_begin = True
         for node in nodes.values():
             if node.alive:
@@ -462,6 +501,8 @@ class SynchronousNetwork:
         self._in_round_begin = False
 
         # Phase 2: transmit.
+        if traced:
+            tracer.phase(rnd, "transmit", count=len(self._outbox_now))
         transmissions: List[WireMessage] = []
         for intent in self._outbox_now:
             sender_node = nodes[intent.sender]
@@ -485,6 +526,8 @@ class SynchronousNetwork:
                 wire = transport.write(intent.sender, receiver, message, size_hint)
                 if behavior is None:
                     traffic.record_send(wire.mtype, wire.size, rnd)
+                    if traced:
+                        tracer.wire(rnd, wire, "send", charged=True)
                     transmissions.append(wire)
                     continue
                 self._apply_send_filter(
@@ -493,27 +536,36 @@ class SynchronousNetwork:
         self._outbox_now = []
 
         # Injected (replayed / forged) wires and previously delayed wires.
-        trace = self.action_trace
         for node in nodes.values():
             behavior = node.behavior
             if behavior is None or not node.alive:
                 continue
             for delay, out in behavior.drain_injections(rnd):
-                if trace is not None:
-                    trace.record(node.node_id, rnd, WireAction.REPLAY)
                 if delay <= 0:
                     traffic.record_send(out.mtype, out.size, rnd)
+                    if traced:
+                        tracer.wire(
+                            rnd, out, "replay", actor=node.node_id, charged=True
+                        )
                     transmissions.append(out)
                 else:
+                    if traced:
+                        tracer.wire(rnd, out, "replay", actor=node.node_id)
                     self._future_wires.setdefault(rnd + delay, []).append(out)
         for out in self._future_wires.pop(rnd, ()):  # delayed arrivals
             traffic.record_send(out.mtype, out.size, rnd)
+            if traced:
+                tracer.wire(rnd, out, "flush", charged=True)
             transmissions.append(out)
 
         # Phase 3: deliver protocol messages.
+        if traced:
+            tracer.phase(rnd, "deliver", count=len(transmissions))
         self._deliver(transmissions, rnd, is_ack_wave=False)
 
         # Phase 4: ack wave (same round trip).
+        if traced:
+            tracer.phase(rnd, "ack_wave", count=len(self._ack_queue))
         ack_wires: List[WireMessage] = []
         ack_queue, self._ack_queue = self._ack_queue, []
         for acker, dest, ack in ack_queue:
@@ -529,17 +581,33 @@ class SynchronousNetwork:
             behavior = acker_node.behavior
             if behavior is None:
                 traffic.record_send(wire.mtype, wire.size, rnd)
+                if traced:
+                    tracer.wire(rnd, wire, "send", charged=True)
                 ack_wires.append(wire)
                 continue
             self._apply_send_filter(behavior, acker, wire, rnd, ack_wires)
         self._deliver(ack_wires, rnd, is_ack_wave=True)
 
         # Phase 5: halt-on-divergence check (P4).
+        if traced:
+            tracer.phase(rnd, "halt_check", count=len(self._pending_handles))
+        halted_now: List[NodeId] = []
         for (sender, _key), handle in self._pending_handles.items():
             if handle.diverged and handle.targets >= handle.threshold:
                 nodes[sender].enclave.halt(rnd)
+                if sender not in halted_now:
+                    halted_now.append(sender)
+                if traced:
+                    tracer.halt(rnd, sender, handle.acks, handle.threshold)
+                _PROTOCOL_LOG.info(
+                    "round %d: node %d halted on divergence (%d/%d acks)",
+                    rnd, sender, handle.acks, handle.threshold,
+                )
 
         # Phase 6: round end.
+        live = sum(1 for node in nodes.values() if node.alive)
+        if traced:
+            tracer.phase(rnd, "end", count=live)
         for node in nodes.values():
             if node.alive:
                 node.program.on_round_end(node.context)
@@ -556,6 +624,31 @@ class SynchronousNetwork:
         self.stats.rounds.append(
             RoundRecord(rnd=rnd, bytes=round_bytes, seconds=seconds)
         )
+        if traced or _LOG.isEnabledFor(logging.DEBUG):
+            decided = sum(
+                1 for node in nodes.values() if node.program.has_output
+            )
+            omissions = traffic.omissions - omissions_before
+            rejections = traffic.rejections - rejections_before
+            if traced:
+                tracer.emit(
+                    RoundSpan(
+                        rnd=rnd,
+                        bytes=round_bytes,
+                        seconds=seconds,
+                        omissions=omissions,
+                        rejections=rejections,
+                        live=live,
+                        decided=decided,
+                        halted=halted_now,
+                    )
+                )
+            _LOG.debug(
+                "round %d: bytes=%d seconds=%.3f omissions=%d rejections=%d "
+                "live=%d decided=%d halted=%s",
+                rnd, round_bytes, seconds, omissions, rejections,
+                live, decided, halted_now,
+            )
 
     def _apply_send_filter(
         self,
@@ -566,31 +659,35 @@ class SynchronousNetwork:
         immediate: List[WireMessage],
     ) -> None:
         """Run one wire through the sender's OS behaviour, recording the
-        traffic and (optionally) the Definition A.5 action trace."""
+        traffic and (when traced) the per-wire OS action events that back
+        the Definition A.5 classification."""
         traffic = self.stats.traffic
-        trace = self.action_trace
+        tracer = self.tracer
+        traced = tracer.enabled
         delivered_any = False
         for index, (delay, out) in enumerate(behavior.filter_send(wire, rnd)):
             delivered_any = True
-            if trace is not None:
-                if out is not wire:
-                    action = WireAction.MODIFY
-                elif delay > 0:
-                    action = WireAction.DELAY
-                elif index == 0:
-                    action = WireAction.DELIVER
-                else:
-                    action = WireAction.REPLAY  # duplicate copies
-                trace.record(sender, rnd, action)
             if delay <= 0:
                 traffic.record_send(out.mtype, out.size, rnd)
                 immediate.append(out)
             else:
                 self._future_wires.setdefault(rnd + delay, []).append(out)
+            if traced:
+                if out is not wire:
+                    action = "modify"
+                elif delay > 0:
+                    action = "delay"
+                elif index == 0:
+                    action = "deliver"
+                else:
+                    action = "replay"  # duplicate copies
+                tracer.wire(
+                    rnd, out, action, actor=sender, charged=delay <= 0
+                )
         if not delivered_any:
             traffic.record_omission()
-            if trace is not None:
-                trace.record(sender, rnd, WireAction.DROP_SEND)
+            if traced:
+                tracer.wire(rnd, wire, "drop_send", actor=sender)
 
     def _deliver(
         self, wires: List[WireMessage], rnd: Round, is_ack_wave: bool
@@ -598,27 +695,33 @@ class SynchronousNetwork:
         nodes = self.nodes
         traffic = self.stats.traffic
         transport = self.transport
+        tracer = self.tracer
+        traced = tracer.enabled
         handles = self._pending_handles
         for wire in wires:
             receiver_node = nodes.get(wire.receiver)
             if receiver_node is None or not receiver_node.alive:
                 traffic.record_omission()
+                if traced:
+                    tracer.wire(rnd, wire, "omit_dead")
                 continue
             behavior = receiver_node.behavior
             if behavior is not None and not behavior.filter_receive(wire, rnd):
                 traffic.record_omission()
-                if self.action_trace is not None:
-                    self.action_trace.record(
-                        wire.receiver, rnd, WireAction.DROP_RECV
-                    )
+                if traced:
+                    tracer.wire(rnd, wire, "drop_recv", actor=wire.receiver)
                 continue
             try:
                 message = transport.read(wire.receiver, wire)
             except (IntegrityError, ReplayError, StaleRoundError):
                 traffic.record_rejection()
+                if traced:
+                    tracer.wire(rnd, wire, "reject")
                 continue
             except ProtocolError:
                 traffic.record_rejection()
+                if traced:
+                    tracer.wire(rnd, wire, "reject")
                 continue
             if message.type is MessageType.ACK:
                 handle = handles.get((wire.receiver, message.payload))

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import List
 
 from repro.common.types import MessageType
 
@@ -31,14 +31,16 @@ class TrafficStats:
     bytes_by_type: Counter = field(default_factory=Counter)
     omissions: int = 0            # messages dropped (by adversary or checks)
     rejections: int = 0           # messages rejected by channel verification
-    bytes_by_round: Dict[int, int] = field(default_factory=dict)
+    bytes_by_round: Counter = field(default_factory=Counter)
 
     def record_send(self, mtype: MessageType, size: int, rnd: int) -> None:
+        if size < 0:
+            raise ValueError(f"message size must be non-negative, got {size}")
         self.messages_sent += 1
         self.bytes_sent += size
         self.messages_by_type[mtype] += 1
         self.bytes_by_type[mtype] += size
-        self.bytes_by_round[rnd] = self.bytes_by_round.get(rnd, 0) + size
+        self.bytes_by_round[rnd] += size
 
     def record_omission(self) -> None:
         self.omissions += 1
@@ -51,7 +53,24 @@ class TrafficStats:
         return self.bytes_sent / (1024.0 * 1024.0)
 
     def round_bytes(self, rnd: int) -> int:
-        return self.bytes_by_round.get(rnd, 0)
+        return self.bytes_by_round[rnd]
+
+    def publish(self, registry, prefix: str = "traffic") -> None:
+        """Feed this run's totals into a metrics registry.
+
+        ``registry`` is duck-typed (``repro.obs.metrics.MetricsRegistry``
+        or anything with the same ``counter``/``histogram`` surface).
+        Counters accumulate across runs published into the same registry.
+        """
+        registry.counter(f"{prefix}.messages_sent").inc(self.messages_sent)
+        registry.counter(f"{prefix}.bytes_sent").inc(self.bytes_sent)
+        registry.counter(f"{prefix}.omissions").inc(self.omissions)
+        registry.counter(f"{prefix}.rejections").inc(self.rejections)
+        for mtype, count in self.messages_by_type.items():
+            registry.counter(f"{prefix}.messages.{mtype.value}").inc(count)
+        histogram = registry.histogram(f"{prefix}.bytes_per_round")
+        for rnd in sorted(self.bytes_by_round):
+            histogram.observe(self.bytes_by_round[rnd])
 
     def summary(self) -> str:
         per_type = ", ".join(
@@ -90,3 +109,11 @@ class RunStats:
     @property
     def termination_seconds(self) -> float:
         return sum(record.seconds for record in self.rounds)
+
+    def publish(self, registry, prefix: str = "run") -> None:
+        """Feed round timings and traffic totals into a metrics registry."""
+        registry.counter(f"{prefix}.rounds").inc(self.rounds_executed)
+        seconds = registry.histogram(f"{prefix}.round_seconds")
+        for record in self.rounds:
+            seconds.observe(record.seconds)
+        self.traffic.publish(registry, prefix=f"{prefix}.traffic")

@@ -10,7 +10,7 @@ so the flooding argument applies).
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Sequence
+from typing import Dict, FrozenSet, Iterable, List
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG

@@ -1,0 +1,78 @@
+"""repro.obs — unified tracing and metrics for the round engine.
+
+Three pieces:
+
+* :mod:`repro.obs.events` — the typed event vocabulary (round spans,
+  wire actions, halts, decisions, churn);
+* :mod:`repro.obs.tracer` — the :class:`Tracer` the engine and protocols
+  emit into (disabled by default, zero overhead when off);
+* :mod:`repro.obs.metrics` — counters / gauges / histograms plus the
+  wall-clock :data:`PROFILER` hooks around crypto and serialization;
+* :mod:`repro.obs.export` — JSONL persistence and the per-round
+  timeline renderer behind ``python -m repro inspect``.
+
+Typical use::
+
+    from repro.obs import JsonlSink, Tracer
+
+    config = SimulationConfig(n=16, tracer=Tracer(JsonlSink("t.jsonl")))
+    result = run_erb(config, initiator=0, message=b"hello")
+    config.tracer.close()
+"""
+
+from repro.obs.events import (
+    ROUND_PHASES,
+    ChurnEvent,
+    DecisionEvent,
+    HaltEvent,
+    PhaseEvent,
+    ProtocolEvent,
+    RoundSpan,
+    WireEvent,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.obs.export import (
+    JsonlSink,
+    charged_bytes_by_round,
+    read_trace,
+    render_timeline,
+    write_trace,
+)
+from repro.obs.metrics import (
+    PROFILER,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Profiler,
+)
+from repro.obs.tracer import NULL_TRACER, MemorySink, NullSink, Tracer
+
+__all__ = [
+    "ChurnEvent",
+    "Counter",
+    "DecisionEvent",
+    "Gauge",
+    "HaltEvent",
+    "Histogram",
+    "JsonlSink",
+    "MemorySink",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullSink",
+    "PROFILER",
+    "PhaseEvent",
+    "Profiler",
+    "ProtocolEvent",
+    "ROUND_PHASES",
+    "RoundSpan",
+    "Tracer",
+    "WireEvent",
+    "charged_bytes_by_round",
+    "event_from_dict",
+    "event_to_dict",
+    "read_trace",
+    "render_timeline",
+    "write_trace",
+]

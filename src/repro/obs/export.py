@@ -1,0 +1,183 @@
+"""Trace export: JSONL persistence and the human-readable timeline.
+
+A trace file is one JSON object per line, each tagged with its event
+``kind`` (see :mod:`repro.obs.events`).  The format round-trips
+losslessly: ``read_trace(write_trace(events)) == events``.
+
+``render_timeline`` turns an event stream into the per-round table the
+``python -m repro inspect`` subcommand prints: phases entered, bytes on
+the wire, omissions/rejections, halts, and decisions per round, plus
+decision and churn detail lines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.obs.events import (
+    ChurnEvent,
+    DecisionEvent,
+    HaltEvent,
+    PhaseEvent,
+    RoundSpan,
+    WireEvent,
+    event_from_dict,
+    event_to_dict,
+)
+
+
+class JsonlSink:
+    """A tracer sink streaming events to a JSONL file."""
+
+    active = True
+
+    def __init__(self, path) -> None:
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+
+    def handle(self, event) -> None:
+        self._fh.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def write_trace(events: Iterable[object], path) -> None:
+    """Persist an event sequence as JSONL."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event_to_dict(event), separators=(",", ":")))
+            fh.write("\n")
+
+
+def read_trace(path) -> List[object]:
+    """Load a JSONL trace back into typed events."""
+    events: List[object] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(event_from_dict(json.loads(line)))
+    return events
+
+
+def charged_bytes_by_round(events: Iterable[object]) -> Dict[int, int]:
+    """Sum the charged wire-event sizes per round.
+
+    By construction this equals ``TrafficStats.bytes_by_round`` for the
+    run that produced the trace (the engine emits a charged wire event at
+    every ``record_send`` call site).
+    """
+    totals: Dict[int, int] = {}
+    for event in events:
+        if isinstance(event, WireEvent) and event.charged:
+            totals[event.rnd] = totals.get(event.rnd, 0) + event.size
+    return totals
+
+
+def render_timeline(events: Sequence[object]) -> str:
+    """Render a per-round timeline of a trace (the ``inspect`` view)."""
+    rounds: Dict[int, Dict[str, object]] = {}
+
+    def row(rnd: int) -> Dict[str, object]:
+        entry = rounds.get(rnd)
+        if entry is None:
+            entry = rounds[rnd] = {
+                "phases": [],
+                "span": None,
+                "halts": [],
+                "decisions": [],
+            }
+        return entry
+
+    churn_events: List[ChurnEvent] = []
+    for event in events:
+        if isinstance(event, PhaseEvent):
+            row(event.rnd)["phases"].append(event.phase)
+        elif isinstance(event, RoundSpan):
+            row(event.rnd)["span"] = event
+        elif isinstance(event, HaltEvent):
+            row(event.rnd)["halts"].append(event)
+        elif isinstance(event, DecisionEvent):
+            row(event.rnd)["decisions"].append(event)
+        elif isinstance(event, ChurnEvent):
+            churn_events.append(event)
+
+    wire_bytes = charged_bytes_by_round(events)
+    total_bytes = sum(
+        entry["span"].bytes for entry in rounds.values() if entry["span"]
+    )
+    lines: List[str] = [
+        f"trace: {len(events)} events over {len(rounds)} round(s), "
+        f"{total_bytes} bytes on the wire",
+        "",
+        f"{'rnd':>4}  {'phases':<44}  {'bytes':>9}  {'omissions':>9}  "
+        f"{'rejections':>10}  {'halts':>12}  {'decided':>7}",
+    ]
+    for rnd in sorted(rounds):
+        entry = rounds[rnd]
+        span = entry["span"]
+        phases = "→".join(entry["phases"]) or "-"
+        halted = sorted(
+            {h.node for h in entry["halts"]}
+            | set(span.halted if span else ())
+        )
+        halts = ",".join(str(n) for n in halted) if halted else "-"
+        lines.append(
+            f"{rnd:>4}  {phases:<44}  "
+            f"{span.bytes if span else wire_bytes.get(rnd, 0):>9}  "
+            f"{span.omissions if span else 0:>9}  "
+            f"{span.rejections if span else 0:>10}  {halts:>12}  "
+            f"{span.decided if span else len(entry['decisions']):>7}"
+        )
+        if span is not None and rnd in wire_bytes and wire_bytes[rnd] != span.bytes:
+            lines.append(
+                f"      !! wire events sum to {wire_bytes[rnd]} bytes "
+                f"but the round span recorded {span.bytes}"
+            )
+
+    halts = [h for entry in rounds.values() for h in entry["halts"]]
+    if halts:
+        lines.append("")
+        lines.append("halts:")
+        for h in halts:
+            lines.append(
+                f"  round {h.rnd}: node {h.node} — {h.acks}/{h.threshold} "
+                f"acks ({h.reason})"
+            )
+
+    decisions = [d for entry in rounds.values() for d in entry["decisions"]]
+    if decisions:
+        lines.append("")
+        lines.append(f"decisions ({len(decisions)}):")
+        shown = decisions[:8]
+        for d in shown:
+            tag = f" [{d.instance}]" if d.instance else ""
+            lines.append(
+                f"  round {d.rnd}: node {d.node} ({d.program}{tag}) "
+                f"accepted {d.value}"
+            )
+        if len(decisions) > len(shown):
+            lines.append(f"  ... and {len(decisions) - len(shown)} more")
+
+    if churn_events:
+        lines.append("")
+        lines.append("churn instances:")
+        for c in churn_events:
+            ejected = c.ejected or "-"
+            lines.append(
+                f"  instance {c.instance}: {c.rounds} rounds, "
+                f"live byzantine {c.live_byzantine}, ejected {ejected}, "
+                f"agreement {'held' if c.agreement_held else 'BROKEN'}"
+            )
+
+    return "\n".join(lines)

@@ -1,0 +1,193 @@
+"""The tracer: the single emission point for all trace events.
+
+A :class:`Tracer` fans events out to *sinks*.  A sink is anything with a
+``handle(event)`` method; sinks with ``active = False`` (the
+:class:`NullSink`) are never called, and a tracer whose sinks are all
+inactive reports ``enabled = False`` — the engine checks that one boolean
+before constructing any event object, so the default
+(:data:`NULL_TRACER`) run pays nothing beyond the check itself.
+
+The tracer *subsumes* the old ``ActionTrace`` of Definition A.5: wire
+events carry the acting node and the action name, and
+``repro.adversary.classification.trace_from_wire_events`` rebuilds an
+identical ``ActionTrace`` view from them, so ``classify_node`` keeps
+working unchanged on traced runs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.obs.events import (
+    ChurnEvent,
+    DecisionEvent,
+    HaltEvent,
+    PhaseEvent,
+    ProtocolEvent,
+    WireEvent,
+)
+
+#: Longest ``repr`` recorded for a decision value (traces stay compact).
+_VALUE_REPR_LIMIT = 160
+
+
+class NullSink:
+    """The zero-overhead default: declares itself inactive so the tracer
+    never even constructs events for it."""
+
+    active = False
+
+    def handle(self, event) -> None:  # pragma: no cover - never called
+        pass
+
+
+class MemorySink:
+    """Retains every event in order (tests, in-process views)."""
+
+    active = True
+
+    def __init__(self) -> None:
+        self.events: List[object] = []
+
+    def handle(self, event) -> None:
+        self.events.append(event)
+
+
+def _jsonable(value):
+    """Coerce protocol-event detail values to JSON primitives so traces
+    round-trip losslessly."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, bytes):
+        return value.hex()
+    return repr(value)
+
+
+class Tracer:
+    """Routes structured events from the engine and protocols to sinks."""
+
+    def __init__(self, *sinks) -> None:
+        self.sinks = list(sinks)
+        self._active = [s for s in self.sinks if getattr(s, "active", True)]
+        #: The engine's fast-path guard: construct events only when True.
+        self.enabled = bool(self._active)
+
+    @classmethod
+    def memory(cls) -> "Tracer":
+        """A tracer retaining its events in memory (``.events``)."""
+        return cls(MemorySink())
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Optional[List[object]]:
+        """The retained event list, if any sink keeps one (else None)."""
+        for sink in self.sinks:
+            if isinstance(sink, MemorySink):
+                return sink.events
+        return None
+
+    def wire_events(self) -> Iterable[WireEvent]:
+        """The retained wire-level events (empty if nothing is retained)."""
+        events = self.events
+        if events is None:
+            return ()
+        return (e for e in events if isinstance(e, WireEvent))
+
+    # ------------------------------------------------------------------
+    def emit(self, event) -> None:
+        for sink in self._active:
+            sink.handle(event)
+
+    def close(self) -> None:
+        """Flush and close every sink that supports it."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    # ---- typed helpers (no-ops while disabled) ------------------------
+    def phase(self, rnd: int, phase: str, count: int = 0) -> None:
+        if self.enabled:
+            self.emit(PhaseEvent(rnd=rnd, phase=phase, count=count))
+
+    def wire(
+        self,
+        rnd: int,
+        wire,
+        action: str,
+        actor: Optional[int] = None,
+        charged: bool = False,
+    ) -> None:
+        if self.enabled:
+            mtype = getattr(wire.mtype, "value", None)
+            self.emit(
+                WireEvent(
+                    rnd=rnd,
+                    sender=wire.sender,
+                    receiver=wire.receiver,
+                    size=wire.size,
+                    action=action,
+                    mtype=mtype,
+                    actor=actor,
+                    charged=charged,
+                )
+            )
+
+    def halt(self, rnd: int, node: int, acks: int, threshold: int) -> None:
+        if self.enabled:
+            self.emit(
+                HaltEvent(rnd=rnd, node=node, acks=acks, threshold=threshold)
+            )
+
+    def decision(
+        self, rnd: int, node: int, program: str, value, instance: str = ""
+    ) -> None:
+        if self.enabled:
+            self.emit(
+                DecisionEvent(
+                    rnd=rnd,
+                    node=node,
+                    program=program,
+                    value=repr(value)[:_VALUE_REPR_LIMIT],
+                    instance=instance,
+                )
+            )
+
+    def protocol(
+        self, name: str, node: int, rnd: int, instance: str = "", **data
+    ) -> None:
+        if self.enabled:
+            self.emit(
+                ProtocolEvent(
+                    rnd=rnd,
+                    node=node,
+                    name=name,
+                    instance=instance,
+                    data={key: _jsonable(value) for key, value in data.items()},
+                )
+            )
+
+    def churn(
+        self,
+        instance: int,
+        live_byzantine: int,
+        rounds: int,
+        agreement_held: bool,
+        ejected: Iterable[int] = (),
+    ) -> None:
+        if self.enabled:
+            self.emit(
+                ChurnEvent(
+                    instance=instance,
+                    live_byzantine=live_byzantine,
+                    rounds=rounds,
+                    agreement_held=agreement_held,
+                    ejected=list(ejected),
+                )
+            )
+
+
+#: The default tracer: permanently disabled, shared by every untraced run.
+NULL_TRACER = Tracer()

@@ -18,8 +18,11 @@ Two layers live here:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
+
+_PROTOCOL_LOG = logging.getLogger("repro.protocol")
 
 #: The distinguished bottom state (the paper's ``⊥``).
 BOTTOM = None
@@ -145,10 +148,28 @@ class EnclaveProgram:
         return self._decided_round
 
     def _accept(self, ctx, value: object) -> None:
-        """Record the protocol output ('accept' in the paper's pseudocode)."""
+        """Record the protocol output ('accept' in the paper's pseudocode).
+
+        Emits a :class:`repro.obs.events.DecisionEvent` when the run is
+        traced (``ctx`` is duck-typed: anything without a ``tracer``
+        attribute — unit-test stubs, the formal model — skips emission).
+        """
         if self._output is _UNSET:
             self._output = value
             self._decided_round = ctx.round
+            node_id = getattr(ctx, "node_id", -1)
+            tracer = getattr(ctx, "tracer", None)
+            if tracer is not None and tracer.enabled:
+                tracer.decision(
+                    rnd=ctx.round,
+                    node=node_id,
+                    program=self.PROGRAM_NAME,
+                    value=value,
+                )
+            _PROTOCOL_LOG.info(
+                "node %s (%s) accepted in round %s: %.120r",
+                node_id, self.PROGRAM_NAME, ctx.round, value,
+            )
 
     def measurement_material(self) -> bytes:
         """Bytes fed into the MRENCLAVE measurement for this program."""

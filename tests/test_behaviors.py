@@ -17,7 +17,6 @@ from repro.adversary import (
     TamperAdversary,
 )
 from repro.channel.peer_channel import WireMessage
-from repro.common.errors import IntegrityError
 from repro.common.rng import DeterministicRNG
 from repro.common.types import MessageType
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import SimulationConfig
 from repro.common.errors import ConfigurationError, ProtocolError
 from repro.core.churn import ChurnDriver, IntermittentOmission
 from repro.core.erb import ErbProgram

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.config import SimulationConfig
 from repro.common.errors import ConfigurationError
 from repro.common.types import MessageType
 from repro.core.erb import run_erb

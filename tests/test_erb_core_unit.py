@@ -66,7 +66,7 @@ class TestValidityGuards:
         core, ctx = _core(), FakeContext(5, rnd=2)
         core.handle_message(ctx, 0, _init(rnd=1))
         assert ctx.acks == []
-        assert core.m_hat is not b"m"
+        assert core.m_hat != b"m"  # still the <unset> sentinel
         assert core.s_echo == set()
 
     def test_wrong_seq_ignored(self):

@@ -17,7 +17,6 @@ from repro.core.erng_optimized import (
 )
 from repro.net.simulator import SynchronousNetwork
 
-from tests.conftest import small_config
 
 
 def _config(n, t=None, seed=0, **kwargs):

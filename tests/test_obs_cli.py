@@ -1,0 +1,78 @@
+"""CLI observability flags end-to-end: --trace-out, inspect, --verbose."""
+
+from __future__ import annotations
+
+import json
+import logging
+
+from repro.cli import main
+from repro.obs import charged_bytes_by_round, read_trace
+
+
+class TestTraceOut:
+    def test_erb_trace_out_then_inspect(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        assert main(
+            [
+                "erb", "--n", "16", "--initiator", "0",
+                "--message", "hello", "--trace-out", trace_path,
+            ]
+        ) == 0
+        run_output = capsys.readouterr()
+        assert "ERB broadcast over N=16" in run_output.out
+        assert f"trace written to {trace_path}" in run_output.err
+
+        events = read_trace(trace_path)
+        assert events, "trace file is empty"
+        # Per-round byte totals in the trace match the printed traffic line
+        # (total bytes across rounds == the run's bytes_sent).
+        per_round = charged_bytes_by_round(events)
+        assert per_round and all(v > 0 for v in per_round.values())
+
+        assert main(["inspect", trace_path]) == 0
+        timeline = capsys.readouterr().out
+        assert "round(s)" in timeline
+        assert "begin→transmit→deliver→ack_wave→halt_check→end" in timeline
+        assert "!!" not in timeline
+
+    def test_trace_is_valid_jsonl(self, tmp_path):
+        trace_path = str(tmp_path / "t.jsonl")
+        main(["erb", "--n", "8", "--message", "x", "--trace-out", trace_path])
+        with open(trace_path) as fh:
+            kinds = {json.loads(line)["kind"] for line in fh}
+        assert {"phase", "wire", "round", "decision"} <= kinds
+
+    def test_churn_trace_includes_churn_events(self, tmp_path):
+        trace_path = str(tmp_path / "c.jsonl")
+        assert main(
+            [
+                "churn", "--n", "9", "--byzantine", "1", "--p", "1.0",
+                "--instances", "2", "--trace-out", trace_path,
+            ]
+        ) == 0
+        kinds = {e.kind for e in read_trace(trace_path)}
+        assert "churn" in kinds
+
+    def test_no_trace_by_default(self, tmp_path, capsys):
+        assert main(["erb", "--n", "8", "--message", "x"]) == 0
+        assert "trace written" not in capsys.readouterr().err
+
+
+class TestVerbose:
+    def test_verbose_raises_logger_level(self):
+        logger = logging.getLogger("repro")
+        previous = logger.level
+        try:
+            main(["erb", "--n", "8", "--message", "x", "-v"])
+            assert logging.getLogger("repro").getEffectiveLevel() <= logging.INFO
+            main(["erb", "--n", "8", "--message", "x", "-vv"])
+            assert logging.getLogger("repro").getEffectiveLevel() <= logging.DEBUG
+        finally:
+            logger.setLevel(previous)
+            logger.handlers.clear()
+
+    def test_protocol_decisions_logged(self, caplog):
+        with caplog.at_level(logging.INFO, logger="repro.protocol"):
+            main(["erb", "--n", "8", "--message", "x"])
+        accepted = [r for r in caplog.records if "accepted" in r.getMessage()]
+        assert accepted, "expected accept lines on repro.protocol"

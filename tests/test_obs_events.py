@@ -1,0 +1,78 @@
+"""Event vocabulary and JSONL export: lossless round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    ChurnEvent,
+    DecisionEvent,
+    HaltEvent,
+    PhaseEvent,
+    ProtocolEvent,
+    ROUND_PHASES,
+    RoundSpan,
+    WireEvent,
+    event_from_dict,
+    event_to_dict,
+    read_trace,
+    write_trace,
+)
+
+SAMPLE_EVENTS = [
+    PhaseEvent(rnd=1, phase="begin", count=3),
+    WireEvent(
+        rnd=1, sender=0, receiver=2, size=100, action="send",
+        mtype="INIT", charged=True,
+    ),
+    WireEvent(
+        rnd=1, sender=0, receiver=3, size=100, action="drop_send", actor=0,
+    ),
+    RoundSpan(
+        rnd=1, bytes=200, seconds=0.4, omissions=1, rejections=0,
+        live=4, decided=0, halted=[],
+    ),
+    HaltEvent(rnd=2, node=0, acks=2, threshold=5),
+    DecisionEvent(rnd=2, node=1, program="erb", value="b'x'", instance="e-0"),
+    ProtocolEvent(
+        rnd=2, node=1, name="erb_accept", instance="e-0",
+        data={"senders": 5, "quorum": 5},
+    ),
+    ChurnEvent(
+        instance=3, live_byzantine=1, rounds=4, agreement_held=True,
+        ejected=[7],
+    ),
+]
+
+
+class TestEventDicts:
+    @pytest.mark.parametrize("event", SAMPLE_EVENTS, ids=lambda e: e.kind)
+    def test_dict_round_trip_is_lossless(self, event):
+        payload = event_to_dict(event)
+        assert payload["kind"] == event.kind
+        rebuilt = event_from_dict(payload)
+        assert rebuilt == event
+        assert type(rebuilt) is type(event)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown trace event kind"):
+            event_from_dict({"kind": "nope", "rnd": 1})
+
+    def test_round_phases_are_the_documented_six(self):
+        assert ROUND_PHASES == (
+            "begin", "transmit", "deliver", "ack_wave", "halt_check", "end"
+        )
+
+
+class TestJsonl:
+    def test_file_round_trip_is_lossless(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(SAMPLE_EVENTS, path)
+        assert read_trace(path) == SAMPLE_EVENTS
+
+    def test_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace(SAMPLE_EVENTS, path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(SAMPLE_EVENTS)
+        assert all(line.startswith("{") and line.endswith("}") for line in lines)

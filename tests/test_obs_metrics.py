@@ -1,0 +1,126 @@
+"""Metrics registry, profiler switch, and the TrafficStats feed."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.types import MessageType
+from repro.net.stats import RoundRecord, RunStats, TrafficStats
+from repro.obs import PROFILER, MetricsRegistry
+
+
+class TestPrimitives:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("c") is counter  # get-or-create
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_holds_last_value(self):
+        gauge = MetricsRegistry().gauge("g")
+        gauge.set(3.5)
+        gauge.set(1.0)
+        assert gauge.value == 1.0
+
+    def test_histogram_percentiles(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):  # 1..100
+            histogram.observe(float(value))
+        assert histogram.count == 100
+        assert histogram.p50 == 50.0
+        assert histogram.p95 == 95.0
+        assert histogram.max == 100.0
+        assert histogram.mean == pytest.approx(50.5)
+        snapshot = histogram.snapshot()
+        assert snapshot["count"] == 100
+        assert snapshot["p95"] == 95.0
+
+    def test_histogram_decimation_keeps_memory_bounded(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.max_samples = 64
+        for value in range(1000):
+            histogram.observe(float(value))
+        assert histogram.count == 1000
+        assert len(histogram._samples) <= 65
+        assert histogram.max <= 999.0
+
+    def test_timer_observes_elapsed_seconds(self):
+        registry = MetricsRegistry()
+        with registry.timer("t"):
+            pass
+        histogram = registry.histogram("t")
+        assert histogram.count == 1
+        assert histogram.max >= 0.0
+
+    def test_as_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.gauge("b").set(7)
+        registry.histogram("c").observe(1.0)
+        snap = registry.as_dict()
+        assert snap["counters"] == {"a": 2}
+        assert snap["gauges"] == {"b": 7}
+        assert snap["histograms"]["c"]["count"] == 1
+
+
+class TestProfiler:
+    def test_disabled_by_default_and_observe_is_noop(self):
+        assert PROFILER.enabled is False
+        PROFILER.observe("x", 1.0)  # must not raise with no registry
+
+    def test_enable_observe_disable(self):
+        registry = PROFILER.enable()
+        try:
+            assert PROFILER.enabled is True
+            PROFILER.observe("channel.write_s", 0.25)
+            with PROFILER.time("channel.read_s"):
+                pass
+            assert registry.histogram("channel.write_s").count == 1
+            assert registry.histogram("channel.read_s").count == 1
+        finally:
+            PROFILER.disable()
+        assert PROFILER.enabled is False
+        assert PROFILER.registry is None
+
+
+class TestStatsPublishing:
+    def test_negative_send_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            TrafficStats().record_send(MessageType.INIT, -1, rnd=1)
+
+    def test_bytes_by_round_is_a_counter(self):
+        traffic = TrafficStats()
+        traffic.record_send(MessageType.INIT, 100, rnd=1)
+        traffic.record_send(MessageType.ECHO, 50, rnd=1)
+        traffic.record_send(MessageType.ACK, 10, rnd=2)
+        assert traffic.round_bytes(1) == 150
+        assert traffic.round_bytes(2) == 10
+        assert traffic.round_bytes(99) == 0  # missing round, no KeyError
+
+    def test_traffic_publish_feeds_registry(self):
+        traffic = TrafficStats()
+        traffic.record_send(MessageType.INIT, 100, rnd=1)
+        traffic.record_send(MessageType.ECHO, 60, rnd=2)
+        traffic.record_omission()
+        registry = MetricsRegistry()
+        traffic.publish(registry)
+        assert registry.counter("traffic.messages_sent").value == 2
+        assert registry.counter("traffic.bytes_sent").value == 160
+        assert registry.counter("traffic.omissions").value == 1
+        assert registry.counter("traffic.messages.INIT").value == 1
+        assert registry.histogram("traffic.bytes_per_round").count == 2
+
+    def test_run_stats_publish(self):
+        stats = RunStats()
+        stats.rounds.append(RoundRecord(rnd=1, bytes=100, seconds=0.4))
+        stats.rounds.append(RoundRecord(rnd=2, bytes=80, seconds=0.4))
+        stats.traffic.record_send(MessageType.INIT, 100, rnd=1)
+        registry = MetricsRegistry()
+        stats.publish(registry)
+        assert registry.counter("run.rounds").value == 2
+        assert registry.histogram("run.round_seconds").count == 2
+        assert registry.counter("run.traffic.messages_sent").value == 1

@@ -5,9 +5,9 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.config import SimulationConfig
 from repro.common.errors import ConfigurationError
-from repro.common.types import MessageType, NodeId, ProtocolMessage
+from repro.common.types import MessageType, ProtocolMessage
 from repro.net.simulator import SynchronousNetwork
 from repro.net.topology import Topology
 from repro.sgx.program import EnclaveProgram

@@ -11,7 +11,6 @@ from repro.adversary import (
     LookaheadBiasAdversary,
     ReplayAdversary,
 )
-from repro.common.config import ChannelSecurity, SimulationConfig
 from repro.common.errors import ConfigurationError
 from repro.core.erb import run_erb
 from repro.core.erng import run_erng

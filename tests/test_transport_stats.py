@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common.config import ChannelSecurity
 from repro.common.errors import (
     EnclaveHaltedError,
     IntegrityError,

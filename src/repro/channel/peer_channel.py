@@ -26,7 +26,7 @@ from typing import Dict, Optional, Tuple
 from repro.common.config import CHANNEL_OVERHEAD_BYTES, ChannelSecurity
 from repro.common.errors import IntegrityError, ProtocolError
 from repro.common.rng import DeterministicRNG
-from repro.common.serialization import decode, encode
+from repro.common.serialization import compose_tuple, decode, encode
 from repro.common.types import NodeId, ProtocolMessage
 from repro.channel.replay import ReplayGuard
 from repro.crypto.aead import AEAD, AeadKey
@@ -182,14 +182,26 @@ class SecureChannel:
         rng: DeterministicRNG,
         measurement: bytes,
         precomputed_size: Optional[int] = None,
+        encoded_message: Optional[bytes] = None,
     ) -> WireMessage:
-        """Seal a protocol value for the peer (Fig. 4's Write)."""
+        """Seal a protocol value for the peer (Fig. 4's Write).
+
+        ``encoded_message`` may carry ``encode(message.to_tuple())``
+        computed once per multicast; the FULL-mode plaintext is then
+        composed from it instead of re-serializing the message for every
+        receiver (the counter and measurement still differ per channel).
+        """
         receiver = self._peer_of(sender)
         counter = self.next_counter(sender)
         if self.security is ChannelSecurity.FULL:
             assert self._aead is not None
             t0 = perf_counter() if PROFILER.enabled else None
-            plaintext = encode((counter, measurement, message.to_tuple()))
+            if encoded_message is None:
+                plaintext = encode((counter, measurement, message.to_tuple()))
+            else:
+                plaintext = compose_tuple(
+                    (encode(counter), encode(measurement), encoded_message)
+                )
             direction = f"{sender}->{receiver}".encode()
             sealed = self._aead.seal(plaintext, rng, associated_data=direction)
             if t0 is not None:

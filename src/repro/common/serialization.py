@@ -16,7 +16,7 @@ bytes must never execute code.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Sequence, Tuple
 
 from repro.common.errors import SerializationError
 
@@ -84,6 +84,18 @@ def encode(value: object) -> bytes:
 def encoded_size(value: object) -> int:
     """Length in bytes of ``encode(value)`` (used for traffic accounting)."""
     return len(encode(value))
+
+
+def compose_tuple(encoded_items: Sequence[bytes]) -> bytes:
+    """Compose already-encoded items into the encoding of their tuple.
+
+    ``compose_tuple([encode(a), encode(b)]) == encode((a, b))`` — a tuple
+    encodes as its tag, item count and concatenated item encodings, so a
+    sub-encoding shared across many values (e.g. one message body sealed
+    for every receiver of a multicast) can be reused without
+    re-serializing it.
+    """
+    return _TAG_TUPLE + _encode_length(len(encoded_items)) + b"".join(encoded_items)
 
 
 def decode(data: bytes) -> object:

@@ -36,7 +36,9 @@ The engine stops once every live node's program has produced an output
 from __future__ import annotations
 
 import logging
+from collections import Counter
 from dataclasses import dataclass
+from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.adversary.behaviors import OSBehavior
@@ -117,22 +119,10 @@ def _multicast_key(message: ProtocolMessage) -> tuple:
     )
 
 
-_DIGEST_CACHE: Dict[tuple, bytes] = {}
-
-
-def _ack_digest(key: tuple) -> bytes:
-    """The paper's ``H(val)`` carried inside an ACK, truncated to 8 bytes.
-
-    Cached per multicast identity — within one round every receiver ACKs
-    the same few multicast values.
-    """
-    digest = _DIGEST_CACHE.get(key)
-    if digest is None:
-        digest = hash_bytes(encode(key), domain="ack")[:8]
-        if len(_DIGEST_CACHE) > 4096:
-            _DIGEST_CACHE.clear()
-        _DIGEST_CACHE[key] = digest
-    return digest
+#: Cap on each network's ACK-digest cache; past it the *oldest half* is
+#: evicted (dict insertion order), so entries hot in the current round
+#: survive — a full clear would evict them mid-round.
+_DIGEST_CACHE_LIMIT = 4096
 
 
 class EnclaveContext:
@@ -319,7 +309,13 @@ class SynchronousNetwork:
         self._ack_queue: List[Tuple[NodeId, NodeId, ProtocolMessage]] = []
         self._future_wires: Dict[Round, List[WireMessage]] = {}
         self._pending_handles: Dict[Tuple[NodeId, tuple], MulticastHandle] = {}
+        # Per-round wire-size cache for ACKs (keys embed the round number,
+        # so entries die with the round — cleared at every round start and
+        # on instance swap).
         self._ack_size_cache: Dict[tuple, int] = {}
+        # Per-network ACK digest cache (H(val) per multicast identity);
+        # networks must not share it — see _ack_digest.
+        self._digest_cache: Dict[tuple, bytes] = {}
         self._in_round_begin = False
         # The observability hub.  config.tracer wins; the legacy
         # extra["trace_actions"] flag gets a memory tracer so the
@@ -334,6 +330,20 @@ class SynchronousNetwork:
                 else NULL_TRACER
             )
         self.tracer: Tracer = tracer
+        # The fan-out fast path applies when a run can never diverge from
+        # the per-wire path: no OS behaviours anywhere (no drops, delays,
+        # injections or future wires), tracer disabled (no per-wire
+        # events), and homogeneous program measurements (so channel reads
+        # cannot reject).  Adversarial and traced runs automatically fall
+        # back to the per-wire path.  ``extra["disable_fanout_fast_path"]``
+        # forces the legacy path (used by the equivalence tests).
+        measurements = {node.enclave.measurement for node in self.nodes.values()}
+        self._fanout_fast_path = (
+            not self.tracer.enabled
+            and all(node.behavior is None for node in self.nodes.values())
+            and len(measurements) <= 1
+            and not config.extra.get("disable_fanout_fast_path", False)
+        )
 
     @property
     def action_trace(self) -> Optional[ActionTrace]:
@@ -376,12 +386,31 @@ class SynchronousNetwork:
         else:
             self._outbox_next.append(intent)
 
+    def _ack_digest(self, key: tuple) -> bytes:
+        """The paper's ``H(val)`` carried inside an ACK, truncated to 8 bytes.
+
+        Cached per multicast identity — within one round every receiver
+        ACKs the same few multicast values.  The cache is per-network
+        (digests are pure functions of the key, but a shared cache would
+        let one network's churn evict another's hot entries) and bounded
+        by evicting the oldest half, so current-round entries survive.
+        """
+        cache = self._digest_cache
+        digest = cache.get(key)
+        if digest is None:
+            if len(cache) >= _DIGEST_CACHE_LIMIT:
+                for stale in list(islice(cache, len(cache) // 2)):
+                    del cache[stale]
+            digest = hash_bytes(encode(key), domain="ack")[:8]
+            cache[key] = digest
+        return digest
+
     def _queue_ack(
         self, acker: NodeId, dest: NodeId, original: ProtocolMessage
     ) -> None:
         # An ACK carries only H(val) — the truncated digest of the
         # multicast identity — matching the ~80 B ACKs of Section 6.1.
-        digest = _ack_digest(_multicast_key(original))
+        digest = self._ack_digest(_multicast_key(original))
         ack = ProtocolMessage(
             type=MessageType.ACK,
             initiator=0,
@@ -425,6 +454,7 @@ class SynchronousNetwork:
         self._ack_queue.clear()
         self._future_wires.clear()
         self._pending_handles.clear()
+        self._ack_size_cache.clear()
         self.stats = RunStats()
         self.current_round = 0
 
@@ -485,9 +515,11 @@ class SynchronousNetwork:
         transport = self.transport
         tracer = self.tracer
         traced = tracer.enabled
+        fast = self._fanout_fast_path
         omissions_before = traffic.omissions
         rejections_before = traffic.rejections
         self._pending_handles.clear()
+        self._ack_size_cache.clear()
 
         # Phase 1: round begin.  Staged multicasts from last round move to
         # the live queue first so their relative order is stable.
@@ -509,7 +541,7 @@ class SynchronousNetwork:
             if not sender_node.alive:
                 continue
             message = intent.message.with_round(rnd)
-            digest = _ack_digest(_multicast_key(message))
+            digest = self._ack_digest(_multicast_key(message))
             handle = MulticastHandle(
                 sender=intent.sender,
                 rnd=rnd,
@@ -521,72 +553,105 @@ class SynchronousNetwork:
             if intent.expect_acks:
                 self._pending_handles[(intent.sender, digest)] = handle
             size_hint = transport.message_size(message)
-            behavior = sender_node.behavior
-            for receiver in intent.targets:
-                wire = transport.write(intent.sender, receiver, message, size_hint)
-                if behavior is None:
-                    traffic.record_send(wire.mtype, wire.size, rnd)
-                    if traced:
-                        tracer.wire(rnd, wire, "send", charged=True)
-                    transmissions.append(wire)
-                    continue
-                self._apply_send_filter(
-                    behavior, intent.sender, wire, rnd, transmissions
+            wires = transport.write_fanout(
+                intent.sender, intent.targets, message, size_hint
+            )
+            if not wires:
+                continue
+            if fast:
+                # Honest fast path: charge the whole fan-out in one call.
+                total = (
+                    size_hint * len(wires)
+                    if transport.uniform_fanout_size
+                    else sum(wire.size for wire in wires)
                 )
+                traffic.record_send_bulk(message.type, total, rnd, len(wires))
+                transmissions.extend(wires)
+                continue
+            behavior = sender_node.behavior
+            if behavior is None:
+                for wire in wires:
+                    traffic.record_send(wire.mtype, wire.size, rnd)
+                if traced:
+                    tracer.wire_fanout(rnd, wires, "send", charged=True)
+                transmissions.extend(wires)
+            else:
+                for wire in wires:
+                    self._apply_send_filter(
+                        behavior, intent.sender, wire, rnd, transmissions
+                    )
         self._outbox_now = []
 
-        # Injected (replayed / forged) wires and previously delayed wires.
-        for node in nodes.values():
-            behavior = node.behavior
-            if behavior is None or not node.alive:
-                continue
-            for delay, out in behavior.drain_injections(rnd):
-                if delay <= 0:
-                    traffic.record_send(out.mtype, out.size, rnd)
-                    if traced:
-                        tracer.wire(
-                            rnd, out, "replay", actor=node.node_id, charged=True
-                        )
-                    transmissions.append(out)
-                else:
-                    if traced:
-                        tracer.wire(rnd, out, "replay", actor=node.node_id)
-                    self._future_wires.setdefault(rnd + delay, []).append(out)
-        for out in self._future_wires.pop(rnd, ()):  # delayed arrivals
-            traffic.record_send(out.mtype, out.size, rnd)
-            if traced:
-                tracer.wire(rnd, out, "flush", charged=True)
-            transmissions.append(out)
+        # Injected (replayed / forged) wires and previously delayed wires
+        # (only OS behaviours produce either, so the fast path has none).
+        if not fast:
+            for node in nodes.values():
+                behavior = node.behavior
+                if behavior is None or not node.alive:
+                    continue
+                for delay, out in behavior.drain_injections(rnd):
+                    if delay <= 0:
+                        traffic.record_send(out.mtype, out.size, rnd)
+                        if traced:
+                            tracer.wire(
+                                rnd, out, "replay", actor=node.node_id, charged=True
+                            )
+                        transmissions.append(out)
+                    else:
+                        if traced:
+                            tracer.wire(rnd, out, "replay", actor=node.node_id)
+                        self._future_wires.setdefault(rnd + delay, []).append(out)
+            for out in self._future_wires.pop(rnd, ()):  # delayed arrivals
+                traffic.record_send(out.mtype, out.size, rnd)
+                if traced:
+                    tracer.wire(rnd, out, "flush", charged=True)
+                transmissions.append(out)
 
         # Phase 3: deliver protocol messages.
         if traced:
             tracer.phase(rnd, "deliver", count=len(transmissions))
-        self._deliver(transmissions, rnd, is_ack_wave=False)
+        if fast:
+            self._deliver_fast(transmissions, rnd)
+        else:
+            self._deliver(transmissions, rnd, is_ack_wave=False)
 
         # Phase 4: ack wave (same round trip).
         if traced:
             tracer.phase(rnd, "ack_wave", count=len(self._ack_queue))
-        ack_wires: List[WireMessage] = []
         ack_queue, self._ack_queue = self._ack_queue, []
-        for acker, dest, ack in ack_queue:
-            acker_node = nodes[acker]
-            if not acker_node.alive:
-                continue
-            cache_key = (ack.instance, ack.initiator, ack.seq, ack.rnd, ack.payload)
-            size_hint = self._ack_size_cache.get(cache_key)
-            if size_hint is None:
-                size_hint = transport.message_size(ack)
-                self._ack_size_cache[cache_key] = size_hint
-            wire = transport.write(acker, dest, ack, size_hint)
-            behavior = acker_node.behavior
-            if behavior is None:
-                traffic.record_send(wire.mtype, wire.size, rnd)
-                if traced:
-                    tracer.wire(rnd, wire, "send", charged=True)
-                ack_wires.append(wire)
-                continue
-            self._apply_send_filter(behavior, acker, wire, rnd, ack_wires)
-        self._deliver(ack_wires, rnd, is_ack_wave=True)
+        if fast and transport.security is not ChannelSecurity.FULL:
+            # Identical ACKs aggregate: every (dest, digest) pair credits
+            # its pending handle in one Counter bump instead of a wire
+            # write/read and handle lookup per ACK.  (FULL seals each ACK
+            # for real — per-wire sizes and enclave RNG draws must match
+            # the legacy path — so it keeps the wire loop below.)
+            self._ack_wave_fast(ack_queue, rnd)
+        else:
+            ack_wires: List[WireMessage] = []
+            for acker, dest, ack in ack_queue:
+                acker_node = nodes[acker]
+                if not acker_node.alive:
+                    continue
+                cache_key = (
+                    ack.instance, ack.initiator, ack.seq, ack.rnd, ack.payload
+                )
+                size_hint = self._ack_size_cache.get(cache_key)
+                if size_hint is None:
+                    size_hint = transport.message_size(ack)
+                    self._ack_size_cache[cache_key] = size_hint
+                wire = transport.write(acker, dest, ack, size_hint)
+                behavior = acker_node.behavior
+                if behavior is None:
+                    traffic.record_send(wire.mtype, wire.size, rnd)
+                    if traced:
+                        tracer.wire(rnd, wire, "send", charged=True)
+                    ack_wires.append(wire)
+                    continue
+                self._apply_send_filter(behavior, acker, wire, rnd, ack_wires)
+            if fast:
+                self._deliver_fast(ack_wires, rnd)
+            else:
+                self._deliver(ack_wires, rnd, is_ack_wave=True)
 
         # Phase 5: halt-on-divergence check (P4).
         if traced:
@@ -688,6 +753,81 @@ class SynchronousNetwork:
             traffic.record_omission()
             if traced:
                 tracer.wire(rnd, wire, "drop_send", actor=sender)
+
+    def _ack_wave_fast(
+        self, ack_queue: List[Tuple[NodeId, NodeId, ProtocolMessage]], rnd: Round
+    ) -> None:
+        """Honest-path ACK wave: aggregate instead of per-wire round trips.
+
+        With no OS behaviours an ACK can never be dropped, delayed,
+        tampered or replayed, so writing each one through the transport
+        and reading it back is pure bookkeeping.  ACKs identical in
+        (dest, digest) collapse into one Counter entry that credits the
+        pending multicast handle in a single addition; traffic is charged
+        in bulk with the same per-ACK modeled size the per-wire path uses.
+        """
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        transport = self.transport
+        size_cache = self._ack_size_cache
+        counts: Counter = Counter()
+        total_bytes = 0
+        total_count = 0
+        for acker, dest, ack in ack_queue:
+            if not nodes[acker].alive:
+                continue
+            cache_key = (ack.instance, ack.initiator, ack.seq, ack.rnd, ack.payload)
+            size = size_cache.get(cache_key)
+            if size is None:
+                size = transport.message_size(ack)
+                size_cache[cache_key] = size
+            total_bytes += size
+            total_count += 1
+            counts[(dest, ack.payload)] += 1
+        if total_count:
+            traffic.record_send_bulk(
+                MessageType.ACK, total_bytes, rnd, total_count
+            )
+        handles = self._pending_handles
+        for (dest, digest), count in counts.items():
+            dest_node = nodes.get(dest)
+            if dest_node is None or not dest_node.alive:
+                traffic.record_omissions(count)
+                continue
+            handle = handles.get((dest, digest))
+            if handle is not None:
+                handle.acks += count
+            # ACKs for unknown multicasts are ignored, as in _deliver.
+
+    def _deliver_fast(self, wires: List[WireMessage], rnd: Round) -> None:
+        """Honest-path delivery: no OS behaviours to consult, no tracing.
+
+        Channel verification still runs per wire — it is the semantics
+        being simulated — but the behaviour and tracer indirections of
+        :meth:`_deliver` are skipped entirely.
+        """
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        read = self.transport.read
+        handles = self._pending_handles
+        for wire in wires:
+            receiver_node = nodes.get(wire.receiver)
+            if receiver_node is None or not receiver_node.alive:
+                traffic.record_omission()
+                continue
+            try:
+                message = read(wire.receiver, wire)
+            except (IntegrityError, ReplayError, StaleRoundError, ProtocolError):
+                traffic.record_rejection()
+                continue
+            if message.type is MessageType.ACK:
+                handle = handles.get((wire.receiver, message.payload))
+                if handle is not None:
+                    handle.acks += 1
+                continue
+            receiver_node.program.on_message(
+                receiver_node.context, wire.sender, message
+            )
 
     def _deliver(
         self, wires: List[WireMessage], rnd: Round, is_ack_wave: bool

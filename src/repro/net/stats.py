@@ -42,8 +42,36 @@ class TrafficStats:
         self.bytes_by_type[mtype] += size
         self.bytes_by_round[rnd] += size
 
+    def record_send_bulk(
+        self, mtype: MessageType, total_bytes: int, rnd: int, count: int
+    ) -> None:
+        """Charge ``count`` same-type messages totalling ``total_bytes``.
+
+        One call is arithmetically identical to ``count`` calls of
+        :meth:`record_send` — the fan-out fast path uses it to record a
+        whole multicast (or ACK wave) without per-wire Counter updates.
+        """
+        if count < 0 or total_bytes < 0:
+            raise ValueError(
+                f"bulk send must be non-negative, got count={count} "
+                f"bytes={total_bytes}"
+            )
+        if count == 0:
+            return
+        self.messages_sent += count
+        self.bytes_sent += total_bytes
+        self.messages_by_type[mtype] += count
+        self.bytes_by_type[mtype] += total_bytes
+        self.bytes_by_round[rnd] += total_bytes
+
     def record_omission(self) -> None:
         self.omissions += 1
+
+    def record_omissions(self, count: int) -> None:
+        """Record ``count`` omissions at once (bulk fast-path variant)."""
+        if count < 0:
+            raise ValueError(f"omission count must be non-negative, got {count}")
+        self.omissions += count
 
     def record_rejection(self) -> None:
         self.rejections += 1

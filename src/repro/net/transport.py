@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import replace
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.channel.peer_channel import (
     ChannelTable,
@@ -30,6 +30,7 @@ from repro.channel.peer_channel import (
 )
 from repro.common.config import ChannelSecurity
 from repro.common.errors import IntegrityError, ProtocolError, ReplayError
+from repro.common.serialization import encode
 from repro.common.types import NodeId, ProtocolMessage
 from repro.crypto.dh import DhGroup, MODP_2048
 from repro.sgx.enclave import Enclave
@@ -40,6 +41,11 @@ class Transport:
 
     security: ChannelSecurity
 
+    #: True when every wire of one fan-out carries the same ``size`` (the
+    #: shared size hint).  FULL seals per receiver, so sizes may differ by
+    #: a few bytes with the per-channel counter encoding.
+    uniform_fanout_size = True
+
     def write(
         self,
         sender: NodeId,
@@ -48,6 +54,24 @@ class Transport:
         size_hint: Optional[int] = None,
     ) -> WireMessage:
         raise NotImplementedError
+
+    def write_fanout(
+        self,
+        sender: NodeId,
+        targets: Iterable[NodeId],
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> List[WireMessage]:
+        """Write one multicast: encode/size once, one wire per target.
+
+        Equivalent to calling :meth:`write` for each target in order
+        (identical wires, counters and RNG consumption) — subclasses
+        override it to share the per-multicast work across receivers.
+        """
+        return [
+            self.write(sender, receiver, message, size_hint)
+            for receiver in targets
+        ]
 
     def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
         raise NotImplementedError
@@ -61,6 +85,7 @@ class FullTransport(Transport):
     """Real blinded channels between every pair of enclaves."""
 
     security = ChannelSecurity.FULL
+    uniform_fanout_size = False
 
     def __init__(
         self, enclaves: Dict[NodeId, Enclave], group: DhGroup = MODP_2048
@@ -91,6 +116,31 @@ class FullTransport(Transport):
         )
         wire.mtype = message.type
         return wire
+
+    def write_fanout(
+        self,
+        sender: NodeId,
+        targets: Iterable[NodeId],
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> List[WireMessage]:
+        # Seal per receiver (each channel has its own key and counter) but
+        # serialize the message body exactly once for the whole fan-out.
+        enclave = self._enclaves[sender]
+        enclave.guard()
+        rng = enclave.rdrand.rng()
+        measurement = enclave.measurement
+        encoded = encode(message.to_tuple())
+        table = self._table
+        mtype = message.type
+        wires: List[WireMessage] = []
+        for receiver in targets:
+            wire = table.get(sender, receiver).write(
+                sender, message, rng, measurement, encoded_message=encoded
+            )
+            wire.mtype = mtype
+            wires.append(wire)
+        return wires
 
     def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
         enclave = self._enclaves[receiver]
@@ -141,6 +191,33 @@ class ModeledTransport(Transport):
             plain_measurement=self._measurements[sender],
             mtype=message.type,
         )
+
+    def write_fanout(
+        self,
+        sender: NodeId,
+        targets: Iterable[NodeId],
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> List[WireMessage]:
+        # One guard, one size, one measurement lookup, one counter-row
+        # pass for the whole multicast; the frozen plaintext is shared.
+        self._enclaves[sender].guard()
+        row = self._send[sender]
+        size = size_hint if size_hint is not None else modeled_wire_size(message)
+        measurement = self._measurements[sender]
+        mtype = message.type
+        wires: List[WireMessage] = []
+        append = wires.append
+        for receiver in targets:
+            counter = row[receiver] + 1
+            row[receiver] = counter
+            append(
+                WireMessage(
+                    sender, receiver, counter, size,
+                    None, message, measurement, False, mtype,
+                )
+            )
+        return wires
 
     def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
         self._enclaves[receiver].guard()
@@ -194,6 +271,34 @@ class PlainTransport(Transport):
             mtype=message.type,
             opaque=False,  # no encryption: the OS reads everything
         )
+
+    def write_fanout(
+        self,
+        sender: NodeId,
+        targets: Iterable[NodeId],
+        message: ProtocolMessage,
+        size_hint: Optional[int] = None,
+    ) -> List[WireMessage]:
+        self._enclaves[sender].guard()
+        size = size_hint if size_hint is not None else modeled_wire_size(message)
+        mtype = message.type
+        counter = self._counter
+        wires: List[WireMessage] = []
+        for receiver in targets:
+            counter += 1
+            wires.append(
+                WireMessage(
+                    sender=sender,
+                    receiver=receiver,
+                    counter=counter,
+                    size=size,
+                    plain=message,
+                    mtype=mtype,
+                    opaque=False,
+                )
+            )
+        self._counter = counter
+        return wires
 
     def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
         self._enclaves[receiver].guard()

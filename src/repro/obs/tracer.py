@@ -135,6 +135,24 @@ class Tracer:
                 )
             )
 
+    def wire_fanout(
+        self,
+        rnd: int,
+        wires,
+        action: str = "send",
+        actor: Optional[int] = None,
+        charged: bool = True,
+    ) -> None:
+        """Emit one :class:`WireEvent` per wire of a batched fan-out write.
+
+        Identical to calling :meth:`wire` for each wire in order, so a
+        trace of a batched transmit reconstructs the same
+        ``ActionTrace``/byte accounting as the per-wire path.
+        """
+        if self.enabled:
+            for wire in wires:
+                self.wire(rnd, wire, action, actor=actor, charged=charged)
+
     def halt(self, rnd: int, node: int, acks: int, threshold: int) -> None:
         if self.enabled:
             self.emit(

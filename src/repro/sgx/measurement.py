@@ -11,15 +11,29 @@ an enclave changes MRENCLAVE.
 from __future__ import annotations
 
 import inspect
+from functools import lru_cache
 
 from repro.crypto.hashing import hash_bytes
+
+
+@lru_cache(maxsize=256)
+def _class_source(cls: type) -> bytes:
+    """Source bytes of a program class, fetched once per class.
+
+    ``inspect.getsource`` re-reads and re-parses the defining module on
+    every call; a network of N same-program enclaves only needs it once
+    (a class object's source cannot change within a process, so caching
+    is semantics-preserving).
+    """
+    try:
+        return inspect.getsource(cls).encode("utf-8")
+    except (OSError, TypeError):  # interactively-defined classes
+        return cls.__qualname__.encode("utf-8")
 
 
 def measure_program(program) -> bytes:
     """Return the 32-byte measurement of an :class:`EnclaveProgram` instance."""
     material = program.measurement_material()
-    try:
-        source = inspect.getsource(type(program)).encode("utf-8")
-    except (OSError, TypeError):  # interactively-defined classes
-        source = type(program).__qualname__.encode("utf-8")
-    return hash_bytes(material + b"\x00" + source, domain="mrenclave")
+    return hash_bytes(
+        material + b"\x00" + _class_source(type(program)), domain="mrenclave"
+    )

@@ -1,0 +1,261 @@
+"""The fan-out fast path must be invisible in every observable result.
+
+The engine takes a batched send/deliver path when a run is honest
+(no OS behaviours), untraced, and measurement-homogeneous; everything
+else falls back to the per-wire path.  These tests pin the mandatory
+equivalence: byte-identical ``TrafficStats`` (including per-round bytes),
+outputs, halted sets and decided rounds between the two paths, on seeded
+honest and adversarial runs over all three channel fidelities — plus the
+cache-lifecycle fixes that rode along (per-round ACK size cache,
+per-network digest cache with oldest-half eviction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ChannelSecurity, SimulationConfig, run_erb, run_erng
+from repro.adversary.classification import trace_from_wire_events
+from repro.adversary.omission import RandomOmission, SelectiveOmission
+from repro.common.rng import DeterministicRNG
+from repro.common.types import MessageType, ProtocolMessage
+from repro.core.erb import ErbProgram
+from repro.net.simulator import _DIGEST_CACHE_LIMIT, SynchronousNetwork
+from repro.net.transport import ModeledTransport, PlainTransport
+from repro.sgx.enclave import Enclave
+from repro.sgx.trusted_time import SimulationClock
+
+
+def _snapshot(result):
+    """Every observable of a run the equivalence claim covers."""
+    traffic = result.traffic
+    return {
+        "messages_sent": traffic.messages_sent,
+        "bytes_sent": traffic.bytes_sent,
+        "messages_by_type": dict(traffic.messages_by_type),
+        "bytes_by_type": dict(traffic.bytes_by_type),
+        "bytes_by_round": dict(traffic.bytes_by_round),
+        "omissions": traffic.omissions,
+        "rejections": traffic.rejections,
+        "outputs": result.outputs,
+        "halted": result.halted,
+        "decided_rounds": result.decided_rounds,
+        "rounds_executed": result.rounds_executed,
+        "termination_seconds": result.stats.termination_seconds,
+    }
+
+
+def _legacy_config(config: SimulationConfig) -> SimulationConfig:
+    return SimulationConfig(
+        n=config.n,
+        t=config.t,
+        delta=config.delta,
+        bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
+        channel_security=config.channel_security,
+        ack_threshold=config.ack_threshold,
+        seed=config.seed,
+        random_bits=config.random_bits,
+        extra={**config.extra, "disable_fanout_fast_path": True},
+    )
+
+
+@pytest.mark.parametrize(
+    "security, n",
+    [
+        (ChannelSecurity.MODELED, 24),
+        (ChannelSecurity.NONE, 16),
+        (ChannelSecurity.FULL, 6),
+    ],
+)
+def test_honest_erb_fast_equals_legacy(security, n):
+    extra = {"dh_group": "small"} if security is ChannelSecurity.FULL else {}
+    config = SimulationConfig(n=n, seed=5, channel_security=security, extra=extra)
+    fast = run_erb(config, initiator=0, message=b"equiv")
+    legacy = run_erb(_legacy_config(config), initiator=0, message=b"equiv")
+    assert _snapshot(fast) == _snapshot(legacy)
+    assert fast.outputs and all(v == b"equiv" for v in fast.outputs.values())
+
+
+def test_honest_erng_fast_equals_legacy():
+    config = SimulationConfig(n=12, seed=8)
+    fast = run_erng(config)
+    legacy = run_erng(_legacy_config(config))
+    assert _snapshot(fast) == _snapshot(legacy)
+    assert len(set(fast.outputs.values())) == 1
+
+
+def _omission_behaviors():
+    # Stateful behaviours must be rebuilt per run so both paths consume
+    # identical adversary coin flips.
+    return {
+        1: RandomOmission(DeterministicRNG(("adv", 1)), send_drop_p=0.5),
+        2: SelectiveOmission(victims=range(3, 12)),
+    }
+
+
+def test_adversarial_run_falls_back_and_matches():
+    """Behaviours disable the fast path; results still match a run with
+    the fast path explicitly disabled (both execute per-wire)."""
+    config = SimulationConfig(n=16, seed=9)
+
+    def factory(node_id):
+        return ErbProgram(
+            node_id=node_id, initiator=0, n=config.n, t=config.t, seq=1,
+            message=b"adv" if node_id == 0 else None,
+        )
+
+    network = SynchronousNetwork(config, factory, behaviors=_omission_behaviors())
+    assert network._fanout_fast_path is False
+    fast_requested = network.run(config.t + 2)
+
+    legacy = run_erb(
+        _legacy_config(config),
+        initiator=0,
+        message=b"adv",
+        behaviors=_omission_behaviors(),
+    )
+    assert _snapshot(fast_requested) == _snapshot(legacy)
+    assert fast_requested.traffic.omissions > 0
+
+
+def test_traced_run_falls_back_with_identical_action_trace():
+    """Tracing disables the fast path, and the batched write still emits
+    per-wire events: charged sizes per round reproduce bytes_by_round and
+    the Definition A.5 ActionTrace view keeps working."""
+    config = SimulationConfig(n=8, seed=3, extra={"trace_actions": True})
+
+    def factory(node_id):
+        return ErbProgram(
+            node_id=node_id, initiator=0, n=config.n, t=config.t, seq=1,
+            message=b"traced" if node_id == 0 else None,
+        )
+
+    network = SynchronousNetwork(config, factory)
+    assert network._fanout_fast_path is False
+    result = network.run(config.t + 2)
+
+    charged_by_round: dict = {}
+    for event in network.tracer.wire_events():
+        if event.charged:
+            charged_by_round[event.rnd] = (
+                charged_by_round.get(event.rnd, 0) + event.size
+            )
+    assert charged_by_round == dict(result.traffic.bytes_by_round)
+    assert trace_from_wire_events(network.tracer.wire_events()) is not None
+    assert network.action_trace is not None
+
+
+def test_honest_fast_path_is_active_by_default():
+    config = SimulationConfig(n=8, seed=1)
+
+    def factory(node_id):
+        return ErbProgram(
+            node_id=node_id, initiator=0, n=config.n, t=config.t, seq=1,
+            message=b"on" if node_id == 0 else None,
+        )
+
+    assert SynchronousNetwork(config, factory)._fanout_fast_path is True
+
+
+# ---------------------------------------------------------------------------
+# write_fanout: batched writes must equal sequential per-receiver writes
+# ---------------------------------------------------------------------------
+
+class _FanoutProgram(ErbProgram):
+    PROGRAM_NAME = "fanout-unit"
+
+
+def _enclaves(count, seed):
+    master = DeterministicRNG(("fanout-unit", seed))
+    clock = SimulationClock()
+    return {
+        node: Enclave(
+            node,
+            _FanoutProgram(node_id=node, initiator=0, n=count, t=0, seq=1),
+            master,
+            clock,
+            None,
+        )
+        for node in range(count)
+    }
+
+
+@pytest.mark.parametrize("transport_cls", [ModeledTransport, PlainTransport])
+def test_write_fanout_matches_sequential_writes(transport_cls):
+    message = ProtocolMessage(MessageType.ECHO, 0, 1, b"payload", 1, "unit")
+    sequential = transport_cls(_enclaves(5, 7))
+    batched = transport_cls(_enclaves(5, 7))
+    targets = [1, 2, 3, 4]
+    size = sequential.message_size(message)
+    expected = [sequential.write(0, r, message, size) for r in targets]
+    got = batched.write_fanout(0, targets, message, size)
+    assert got == expected
+    # A second fan-out continues the same counter sequence.
+    expected2 = [sequential.write(0, r, message, size) for r in targets]
+    assert batched.write_fanout(0, targets, message, size) == expected2
+
+
+# ---------------------------------------------------------------------------
+# satellite: cache lifecycles
+# ---------------------------------------------------------------------------
+
+def _build_network(config):
+    def factory(node_id):
+        return ErbProgram(
+            node_id=node_id, initiator=0, n=config.n, t=config.t, seq=1,
+            message=b"cache" if node_id == 0 else None,
+        )
+
+    return SynchronousNetwork(config, factory)
+
+
+def test_ack_size_cache_does_not_grow_across_rounds():
+    """ACK size cache keys embed the round, so old entries are garbage;
+    the engine clears the cache at every round start."""
+    network = _build_network(SimulationConfig(n=10, seed=4))
+    network.run(6)
+    # After a multi-round run, only the final round's entries may remain.
+    assert all(key[3] == network.current_round for key in network._ack_size_cache)
+    assert len(network._ack_size_cache) <= network.config.n
+
+
+def test_replace_programs_clears_ack_size_cache():
+    config = SimulationConfig(n=6, seed=4)
+    network = _build_network(config)
+    network.run(config.t + 2)
+    network._ack_size_cache[("stale", 0, 0, 1, b"x")] = 99
+
+    def factory(node_id):
+        return ErbProgram(
+            node_id=node_id, initiator=1, n=config.n, t=config.t, seq=2,
+            message=b"next" if node_id == 1 else None,
+        )
+
+    network.replace_programs(factory)
+    assert network._ack_size_cache == {}
+
+
+def test_digest_cache_is_per_network():
+    net_a = _build_network(SimulationConfig(n=6, seed=11))
+    net_b = _build_network(SimulationConfig(n=6, seed=11))
+    assert net_a._digest_cache is not net_b._digest_cache
+    net_a.run(3)
+    assert net_a._digest_cache  # populated by the run
+    assert net_b._digest_cache == {}  # untouched by the other network
+
+
+def test_digest_cache_evicts_oldest_half():
+    network = _build_network(SimulationConfig(n=4, seed=12))
+    cache = network._digest_cache
+    for index in range(_DIGEST_CACHE_LIMIT):
+        cache[("filler", index)] = b"x" * 8
+    hot_key = ("filler", _DIGEST_CACHE_LIMIT - 1)
+    digest = network._ack_digest(("fresh", 0))
+    assert len(digest) == 8
+    # Oldest half evicted, newest retained, fresh entry present.
+    assert ("filler", 0) not in cache
+    assert hot_key in cache
+    assert ("fresh", 0) in cache
+    assert len(cache) == _DIGEST_CACHE_LIMIT // 2 + 1
+    # Cached digests are stable.
+    assert network._ack_digest(("fresh", 0)) == digest

@@ -7,7 +7,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.common.errors import SerializationError
-from repro.common.serialization import decode, encode, encoded_size
+from repro.common.serialization import compose_tuple, decode, encode, encoded_size
 
 
 class TestEncodeBasics:
@@ -56,6 +56,26 @@ class TestEncodeBasics:
     def test_encoded_size_matches_length(self):
         value = ("x", 42, b"abc")
         assert encoded_size(value) == len(encode(value))
+
+    def test_compose_tuple_matches_encode(self):
+        items = (7, "body", b"\x00\x01", (1, 2), None)
+        composed = compose_tuple([encode(item) for item in items])
+        assert composed == encode(items)
+        assert decode(composed) == items
+
+    def test_compose_tuple_empty(self):
+        assert compose_tuple([]) == encode(())
+
+    @given(
+        st.lists(
+            st.one_of(st.integers(), st.binary(max_size=32), st.text(max_size=16)),
+            max_size=8,
+        )
+    )
+    @settings(max_examples=50)
+    def test_compose_tuple_property(self, items):
+        composed = compose_tuple([encode(item) for item in items])
+        assert composed == encode(tuple(items))
 
 
 class TestEncodeErrors:

@@ -190,3 +190,30 @@ class TestTrafficStats:
         run.rounds.append(RoundRecord(rnd=2, bytes=20, seconds=3.5))
         assert run.rounds_executed == 2
         assert run.termination_seconds == pytest.approx(5.5)
+
+    def test_record_send_bulk_equals_repeated_sends(self):
+        bulk, repeated = TrafficStats(), TrafficStats()
+        bulk.record_send_bulk(MessageType.ECHO, total_bytes=700, rnd=2, count=7)
+        for _ in range(7):
+            repeated.record_send(MessageType.ECHO, 100, rnd=2)
+        assert bulk == repeated
+
+    def test_record_send_bulk_zero_count_leaves_no_trace(self):
+        stats = TrafficStats()
+        stats.record_send_bulk(MessageType.ECHO, total_bytes=0, rnd=1, count=0)
+        assert stats == TrafficStats()
+
+    def test_record_send_bulk_rejects_negative(self):
+        stats = TrafficStats()
+        with pytest.raises(ValueError):
+            stats.record_send_bulk(MessageType.ECHO, total_bytes=-1, rnd=1, count=1)
+        with pytest.raises(ValueError):
+            stats.record_send_bulk(MessageType.ECHO, total_bytes=1, rnd=1, count=-1)
+
+    def test_record_omissions_bulk(self):
+        stats = TrafficStats()
+        stats.record_omissions(5)
+        stats.record_omission()
+        assert stats.omissions == 6
+        with pytest.raises(ValueError):
+            stats.record_omissions(-1)

@@ -9,6 +9,10 @@ regressions that would make the figure sweeps impractical:
 * the batched fan-out fast path vs the per-wire legacy path (with a
   result-equivalence assertion — see docs/PERFORMANCE.md);
 * one honest ERNG instance at N = 16 (~8k messages across 16 cores);
+* one honest ERNG instance at N = 64 on the round-envelope path
+  (~516k logical messages), plus the envelope vs legacy comparison that
+  records ``envelope_speedup_vs_legacy`` — the coalescing layer's
+  headline number;
 * FULL-crypto channel write/read round trip.
 
 The engine cases persist rounds/sec and messages/sec into
@@ -86,6 +90,17 @@ def _persist_engine_rows() -> None:
     if fanout and legacy:
         entry["fanout_speedup_vs_legacy"] = round(
             fanout["messages_per_sec"] / legacy["messages_per_sec"], 3
+        )
+    envelope = _ENGINE_ROWS.get("erng_n64_modeled")
+    erng_legacy = _ENGINE_ROWS.get("erng_n64_legacy")
+    if envelope and erng_legacy:
+        entry["envelope_speedup_vs_legacy"] = round(
+            envelope["messages_per_sec"] / erng_legacy["messages_per_sec"], 3
+        )
+    erng_fanout = _ENGINE_ROWS.get("erng_n64_fanout")
+    if envelope and erng_fanout:
+        entry["envelope_speedup_vs_fanout"] = round(
+            envelope["messages_per_sec"] / erng_fanout["messages_per_sec"], 3
         )
     try:
         payload = json.loads(BENCH_FILE.read_text())
@@ -176,6 +191,78 @@ def test_engine_erng_n16(benchmark):
 
     messages = benchmark.pedantic(run, rounds=3, iterations=1)
     assert messages > 7000
+
+
+def test_engine_erng_n64_modeled():
+    """Honest ERNG at N = 64 on the round-envelope path: 64 concurrent
+    ERB instances (~516k logical messages in 2 rounds) coalesced to one
+    envelope per link per wave — the scale the pre-envelope engine could
+    not sweep practically."""
+
+    def run():
+        result = run_erng(SimulationConfig(n=64, seed=21))
+        assert len(set(result.outputs.values())) == 1
+        assert result.rounds_executed == 2
+        return result
+
+    repeats = 1 if SCALE == "smoke" else 3
+    seconds, result = _time_best(run, repeats=repeats)
+    assert result.traffic.messages_sent == 516096
+    # One transmit envelope and (mostly) one ACK envelope per link per
+    # round: physical crossings collapse by more than an order of
+    # magnitude while the logical ledger is untouched.
+    assert result.traffic.coalescing_ratio > 10
+    _record_engine_case("erng_n64_modeled", 64, seconds, result)
+
+
+def test_engine_erng_envelope_vs_legacy():
+    """Round-envelope path vs the per-wire legacy path on the same seeded
+    honest ERNG run at N = 64: identical logical observables, wall-clock
+    recorded side by side, and ``envelope_speedup_vs_legacy`` appended to
+    the BENCH_engine.json history (the PR's acceptance number)."""
+
+    def envelope():
+        return run_erng(SimulationConfig(n=64, seed=21))
+
+    def fanout():
+        return run_erng(SimulationConfig(
+            n=64, seed=21, extra={"disable_envelope_fast_path": True}
+        ))
+
+    def legacy():
+        return run_erng(SimulationConfig(
+            n=64,
+            seed=21,
+            extra={
+                "disable_envelope_fast_path": True,
+                "disable_fanout_fast_path": True,
+            },
+        ))
+
+    repeats = 1 if SCALE == "smoke" else 3
+    env_seconds, env = _time_best(envelope, repeats=repeats)
+    legacy_seconds, slow = _time_best(legacy, repeats=repeats)
+
+    # The mandatory equivalence: coalescing may only change wall time and
+    # the physical ledger, never the logical observables.
+    assert env.outputs == slow.outputs
+    assert env.halted == slow.halted
+    assert env.decided_rounds == slow.decided_rounds
+    assert dict(env.traffic.bytes_by_round) == dict(slow.traffic.bytes_by_round)
+    assert env.traffic.messages_sent == slow.traffic.messages_sent == 516096
+    assert env.traffic.bytes_sent == slow.traffic.bytes_sent
+    assert env.traffic.envelopes_sent < slow.traffic.envelopes_sent
+
+    _record_engine_case("erng_n64_modeled", 64, env_seconds, env)
+    _record_engine_case("erng_n64_legacy", 64, legacy_seconds, slow)
+    if SCALE != "smoke":
+        fanout_seconds, mid = _time_best(fanout, repeats=repeats)
+        assert mid.outputs == env.outputs
+        _record_engine_case("erng_n64_fanout", 64, fanout_seconds, mid)
+        # The acceptance bar for the envelope layer: >= 3x over per-wire.
+        assert env_seconds * 3 <= legacy_seconds, (
+            f"envelope path only {legacy_seconds / env_seconds:.2f}x faster"
+        )
 
 
 class _PerfProgram(EnclaveProgram):

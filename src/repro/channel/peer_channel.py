@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import CHANNEL_OVERHEAD_BYTES, ChannelSecurity
 from repro.common.errors import IntegrityError, ProtocolError
@@ -75,6 +75,39 @@ class WireMessage:
             body[0] ^= 0xFF
             return replace(self, sealed=bytes(body), tampered=True)
         return replace(self, tampered=True)
+
+
+@dataclass
+class Envelope:
+    """One physical link crossing: all traffic sharing a
+    ``(sender, receiver, round)`` triple, coalesced.
+
+    In a lockstep round everything node *i* sends node *j* is logically one
+    transmission, so the engine's envelope path seals it as one unit.  In
+    FULL mode ``sealed`` holds a single AEAD ciphertext over every member
+    message (each member keeps its own channel counter inside, so replay
+    protection and the *logical* per-member wire sizes match the per-wire
+    path exactly); in MODELED/NONE mode ``members`` carries the plaintext
+    objects, trusted-opaque exactly like :attr:`WireMessage.plain`
+    (``None`` for the modeled ACK wave, where the engine aggregates digests
+    without materializing per-ACK objects).
+
+    ``size`` is the *physical* byte count of the crossing — member bodies
+    plus one channel overhead, instead of one overhead per message.
+    ``member_sizes`` (FULL only) are the logical per-member sizes, equal to
+    what per-message :meth:`SecureChannel.write` calls would have produced.
+    """
+
+    sender: NodeId
+    receiver: NodeId
+    counter: int
+    size: int
+    count: int
+    sealed: Optional[bytes] = None
+    members: Optional[Sequence[ProtocolMessage]] = None
+    member_measurement: Optional[bytes] = None
+    member_sizes: Optional[List[int]] = None
+    opaque: bool = True
 
 
 class SecureChannel:
@@ -267,6 +300,82 @@ class SecureChannel:
         self._guards[sender].check_and_update(wire.counter)
         assert wire.plain is not None
         return wire.plain
+
+    # ------------------------------------------------------------------
+    # Envelope write/read — one AEAD call per link per round (FULL only)
+    # ------------------------------------------------------------------
+    def write_envelope(
+        self,
+        sender: NodeId,
+        bodies: Sequence[bytes],
+        rng: DeterministicRNG,
+        measurement: bytes,
+    ) -> Envelope:
+        """Seal every queued message for the peer as one envelope.
+
+        ``bodies`` are the pre-encoded message tuples
+        (``encode(message.to_tuple())``), in queue order.  Each member is
+        framed exactly as a per-message :meth:`write` would frame it —
+        ``(counter, measurement, value)`` with this channel's next send
+        counter — so the per-member *logical* sizes reported in
+        ``member_sizes`` equal the per-wire path's sizes byte for byte;
+        only the AEAD seal (and hence the enclave's nonce draws) is
+        amortized over the whole link.
+        """
+        if self.security is not ChannelSecurity.FULL:
+            raise ProtocolError("write_envelope requires a FULL channel")
+        assert self._aead is not None
+        receiver = self._peer_of(sender)
+        t0 = perf_counter() if PROFILER.enabled else None
+        measurement_enc = encode(measurement)
+        pieces: List[bytes] = []
+        member_sizes: List[int] = []
+        for body in bodies:
+            counter = self.next_counter(sender)
+            piece = compose_tuple((encode(counter), measurement_enc, body))
+            pieces.append(piece)
+            member_sizes.append(len(piece) + AEAD.OVERHEAD + _FRAMING_BYTES)
+        plaintext = compose_tuple(pieces)
+        direction = f"{sender}->{receiver}".encode()
+        sealed = self._aead.seal(plaintext, rng, associated_data=direction)
+        if t0 is not None:
+            PROFILER.observe("channel.write_s", perf_counter() - t0)
+        return Envelope(
+            sender=sender,
+            receiver=receiver,
+            counter=self._send_counter[sender],
+            size=len(sealed) + _FRAMING_BYTES,
+            count=len(pieces),
+            sealed=sealed,
+            member_sizes=member_sizes,
+        )
+
+    def read_envelope(self, receiver: NodeId, envelope: Envelope) -> Tuple[ProtocolMessage, ...]:
+        """Verify and open an envelope: one AEAD open, then the per-member
+        measurement and freshness checks of :meth:`read` in member order."""
+        if self.security is not ChannelSecurity.FULL:
+            raise ProtocolError("read_envelope requires a FULL channel")
+        assert self._aead is not None
+        sender = self._peer_of(receiver)
+        if envelope.receiver != receiver or envelope.sender != sender:
+            raise IntegrityError("envelope routed to the wrong channel")
+        t0 = perf_counter() if PROFILER.enabled else None
+        direction = f"{sender}->{receiver}".encode()
+        plaintext = self._aead.open(envelope.sealed, associated_data=direction)
+        triples = decode(plaintext)
+        if t0 is not None:
+            PROFILER.observe("channel.read_s", perf_counter() - t0)
+        expected_measurement = self._measurements.get(sender)
+        guard = self._guards[sender]
+        messages = []
+        for counter, measurement, raw in triples:
+            if expected_measurement is not None and measurement != expected_measurement:
+                raise IntegrityError(
+                    "message bound to a different program (H(pi) mismatch)"
+                )
+            guard.check_and_update(counter)
+            messages.append(ProtocolMessage.from_tuple(raw))
+        return tuple(messages)
 
 
 def modeled_wire_size(message: ProtocolMessage) -> int:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Tuple
 
 # A peer identifier.  The paper gives every peer ``p_i`` an identifier
 # ``id_i``; we use small integers ``0..N-1`` which double as indices into
@@ -98,21 +98,3 @@ class ProtocolMessage:
             instance=self.instance,
             extra=self.extra,
         )
-
-
-@dataclass(frozen=True)
-class Envelope:
-    """A routed message: who sent it, to whom, and in which round.
-
-    ``wire_bytes`` is the (possibly encrypted) on-the-wire representation;
-    ``wire_size`` is its length in bytes and is what the traffic statistics
-    count.  When channels run in ``MODELED`` security mode ``wire_bytes`` is
-    ``None`` and ``wire_size`` is computed analytically.
-    """
-
-    sender: NodeId
-    receiver: NodeId
-    sent_round: Round
-    message: ProtocolMessage
-    wire_bytes: Optional[bytes] = None
-    wire_size: int = 0

@@ -31,20 +31,35 @@ Round anatomy (matching Algorithm 2's phases):
 The engine stops once every live node's program has produced an output
 (early stopping) or the protocol's round bound is exhausted, after which
 ``on_protocol_end`` lets undecided programs accept their default (⊥).
+
+Honest untraced runs take the *round-envelope* path
+(:meth:`SynchronousNetwork._run_round_envelope`): all messages sharing a
+``(sender, receiver, round)`` triple cross the link as one
+:class:`~repro.channel.peer_channel.Envelope` — one AEAD seal (FULL) or
+one counter-row pass (MODELED) per link instead of per message — while
+the *logical* traffic statistics, protocol outputs, halted sets and
+decided rounds stay byte-identical to the per-wire path.  Adversarial
+and traced-FULL runs fall back to per-wire processing (OS behaviours act
+on individual messages, before envelope assembly would happen), where
+the physical ledger still records one coalesced crossing per link.
 """
 
 from __future__ import annotations
 
 import logging
-from collections import Counter
+from collections import Counter, deque
 from dataclasses import dataclass
 from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.adversary.behaviors import OSBehavior
 from repro.adversary.classification import ActionTrace, trace_from_wire_events
-from repro.channel.peer_channel import WireMessage
-from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.channel.peer_channel import Envelope, WireMessage
+from repro.common.config import (
+    CHANNEL_OVERHEAD_BYTES,
+    ChannelSecurity,
+    SimulationConfig,
+)
 from repro.common.errors import (
     ConfigurationError,
     IntegrityError,
@@ -59,7 +74,7 @@ from repro.crypto.dh import MODP_768, MODP_2048
 from repro.crypto.hashing import hash_bytes
 from repro.net.stats import RoundRecord, RunStats, TrafficStats
 from repro.net.topology import Topology
-from repro.obs.events import RoundSpan
+from repro.obs.events import RoundSpan, WireEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.net.transport import (
     FullTransport,
@@ -68,7 +83,7 @@ from repro.net.transport import (
     Transport,
 )
 from repro.sgx.attestation import AttestationAuthority
-from repro.sgx.enclave import Enclave
+from repro.sgx.enclave import Enclave, EnclaveState
 from repro.sgx.program import EnclaveProgram
 from repro.sgx.trusted_time import SimulationClock
 
@@ -168,8 +183,14 @@ class EnclaveContext:
     def clock(self):
         return self._network.nodes[self.node_id].enclave.clock
 
-    def neighbours(self) -> Iterable[NodeId]:
-        return self._network.topology.neighbours(self.node_id)
+    def neighbours(self) -> Tuple[NodeId, ...]:
+        """This node's neighbour set, as the network's cached tuple.
+
+        The topology is static between churn/halt events, so the network
+        memoizes one tuple per node instead of recomputing the adjacency
+        view on every multicast.
+        """
+        return self._network.neighbour_tuple(self.node_id)
 
     # ---- actions ---------------------------------------------------------
     def multicast(
@@ -199,6 +220,7 @@ class EnclaveContext:
     def halt(self) -> None:
         """Voluntary Halt(st) — the enclave leaves the network (P4)."""
         self._network.nodes[self.node_id].enclave.halt(self.round)
+        self._network.invalidate_neighbour_cache(self.node_id)
 
 
 @dataclass
@@ -307,6 +329,17 @@ class SynchronousNetwork:
         self._outbox_now: List[_SendIntent] = []
         self._outbox_next: List[_SendIntent] = []
         self._ack_queue: List[Tuple[NodeId, NodeId, ProtocolMessage]] = []
+        # Envelope-path ACK queue: (acker, dest, digest) triples — the
+        # digest is all an ACK carries, so the envelope path never builds
+        # per-ACK ProtocolMessage objects.
+        self._ack_queue_fast: List[Tuple[NodeId, NodeId, bytes]] = []
+        # Multicast digest by message object identity, valid for one round
+        # (entries are cleared at round start; the messages stay referenced
+        # by the round's delivery plan, so ids cannot be reused mid-round).
+        self._ack_digest_by_id: Dict[int, bytes] = {}
+        # Per-node neighbour tuples (the topology is static between
+        # churn/halt events) — see neighbour_tuple().
+        self._neighbour_cache: Dict[NodeId, Tuple[NodeId, ...]] = {}
         self._future_wires: Dict[Round, List[WireMessage]] = {}
         self._pending_handles: Dict[Tuple[NodeId, tuple], MulticastHandle] = {}
         # Per-round wire-size cache for ACKs (keys embed the round number,
@@ -338,11 +371,40 @@ class SynchronousNetwork:
         # back to the per-wire path.  ``extra["disable_fanout_fast_path"]``
         # forces the legacy path (used by the equivalence tests).
         measurements = {node.enclave.measurement for node in self.nodes.values()}
+        honest = all(node.behavior is None for node in self.nodes.values())
         self._fanout_fast_path = (
             not self.tracer.enabled
-            and all(node.behavior is None for node in self.nodes.values())
+            and honest
             and len(measurements) <= 1
             and not config.extra.get("disable_fanout_fast_path", False)
+        )
+        # The round-envelope path coalesces every (sender, receiver, round)
+        # triple into one link crossing.  It requires the same honesty /
+        # homogeneity conditions as the fan-out path, but tolerates a
+        # tracer for MODELED/NONE runs (it replays the per-wire event
+        # stream exactly, plus envelope events).  Traced FULL runs fall
+        # back: their per-wire events carry real per-message sealed sizes,
+        # which only per-message sealing produces.
+        envelope_disabled = bool(
+            config.extra.get("disable_envelope_fast_path", False)
+        )
+        self._envelope_fast_path = (
+            honest
+            and len(measurements) <= 1
+            and not (
+                self.tracer.enabled
+                and config.channel_security is ChannelSecurity.FULL
+            )
+            and not envelope_disabled
+        )
+        # Runs that fall back to per-wire processing (adversarial, traced
+        # FULL, heterogeneous measurements) still keep the dual ledger
+        # honest: per-message sends are recorded as logical-only and the
+        # physical ledger gets one coalesced crossing per link afterwards.
+        # With the envelope layer explicitly disabled, per-wire sends
+        # mirror 1:1 into the physical ledger (the pre-envelope meaning).
+        self._envelope_accounting = (
+            not envelope_disabled and not self._envelope_fast_path
         )
 
     @property
@@ -360,6 +422,29 @@ class SynchronousNetwork:
     # ------------------------------------------------------------------
     # queueing API used by EnclaveContext
     # ------------------------------------------------------------------
+    def neighbour_tuple(self, node: NodeId) -> Tuple[NodeId, ...]:
+        """The cached neighbour tuple of ``node``.
+
+        ``topology.neighbours`` returns an adjacency view that every
+        multicast used to re-tuple; with N concurrent ERB instances that
+        is N identical recomputations per node per round.  The cache
+        holds one tuple per node and is invalidated on churn and halts
+        (:meth:`invalidate_neighbour_cache`), keeping it correct if a
+        future topology becomes dynamic.
+        """
+        cached = self._neighbour_cache.get(node)
+        if cached is None:
+            cached = tuple(self.topology.neighbours(node))
+            self._neighbour_cache[node] = cached
+        return cached
+
+    def invalidate_neighbour_cache(self, node: Optional[NodeId] = None) -> None:
+        """Drop cached neighbour tuples (all of them when ``node`` is None)."""
+        if node is None:
+            self._neighbour_cache.clear()
+        else:
+            self._neighbour_cache.pop(node, None)
+
     def _queue_multicast(
         self,
         sender: NodeId,
@@ -369,7 +454,7 @@ class SynchronousNetwork:
         threshold: Optional[int],
     ) -> None:
         if targets is None:
-            target_tuple = tuple(self.topology.neighbours(sender))
+            target_tuple = self.neighbour_tuple(sender)
         else:
             target_tuple = tuple(t for t in targets if t != sender)
         intent = _SendIntent(
@@ -410,6 +495,16 @@ class SynchronousNetwork:
     ) -> None:
         # An ACK carries only H(val) — the truncated digest of the
         # multicast identity — matching the ~80 B ACKs of Section 6.1.
+        if self._envelope_fast_path:
+            # The envelope ACK wave works on digests alone; the digest of
+            # the delivered message object was cached during transmit
+            # (FULL delivers decoded copies, so it falls back to the
+            # keyed cache).
+            digest = self._ack_digest_by_id.get(id(original))
+            if digest is None:
+                digest = self._ack_digest(_multicast_key(original))
+            self._ack_queue_fast.append((acker, dest, digest))
+            return
         digest = self._ack_digest(_multicast_key(original))
         ack = ProtocolMessage(
             type=MessageType.ACK,
@@ -452,9 +547,12 @@ class SynchronousNetwork:
         self._outbox_now.clear()
         self._outbox_next.clear()
         self._ack_queue.clear()
+        self._ack_queue_fast.clear()
+        self._ack_digest_by_id.clear()
         self._future_wires.clear()
         self._pending_handles.clear()
         self._ack_size_cache.clear()
+        self.invalidate_neighbour_cache()
         self.stats = RunStats()
         self.current_round = 0
 
@@ -466,9 +564,13 @@ class SynchronousNetwork:
         if max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
         self._setup()
+        envelope = self._envelope_fast_path
         for rnd in range(1, max_rounds + 1):
             self.current_round = rnd
-            self._run_round(rnd)
+            if envelope:
+                self._run_round_envelope(rnd)
+            else:
+                self._run_round(rnd)
             if self._everyone_done():
                 break
         self._finish()
@@ -516,6 +618,9 @@ class SynchronousNetwork:
         tracer = self.tracer
         traced = tracer.enabled
         fast = self._fanout_fast_path
+        # With envelope accounting, per-wire sends are logical-only; the
+        # physical ledger gets one coalesced crossing per link below.
+        physical = not self._envelope_accounting
         omissions_before = traffic.omissions
         rejections_before = traffic.rejections
         self._pending_handles.clear()
@@ -552,6 +657,10 @@ class SynchronousNetwork:
             )
             if intent.expect_acks:
                 self._pending_handles[(intent.sender, digest)] = handle
+            if not intent.targets:
+                # Nothing to size or write (n == 1, or an explicitly empty
+                # target list); the handle above still tracks the call.
+                continue
             size_hint = transport.message_size(message)
             wires = transport.write_fanout(
                 intent.sender, intent.targets, message, size_hint
@@ -571,7 +680,9 @@ class SynchronousNetwork:
             behavior = sender_node.behavior
             if behavior is None:
                 for wire in wires:
-                    traffic.record_send(wire.mtype, wire.size, rnd)
+                    traffic.record_send(
+                        wire.mtype, wire.size, rnd, physical=physical
+                    )
                 if traced:
                     tracer.wire_fanout(rnd, wires, "send", charged=True)
                 transmissions.extend(wires)
@@ -591,7 +702,9 @@ class SynchronousNetwork:
                     continue
                 for delay, out in behavior.drain_injections(rnd):
                     if delay <= 0:
-                        traffic.record_send(out.mtype, out.size, rnd)
+                        traffic.record_send(
+                            out.mtype, out.size, rnd, physical=physical
+                        )
                         if traced:
                             tracer.wire(
                                 rnd, out, "replay", actor=node.node_id, charged=True
@@ -602,10 +715,15 @@ class SynchronousNetwork:
                             tracer.wire(rnd, out, "replay", actor=node.node_id)
                         self._future_wires.setdefault(rnd + delay, []).append(out)
             for out in self._future_wires.pop(rnd, ()):  # delayed arrivals
-                traffic.record_send(out.mtype, out.size, rnd)
+                traffic.record_send(
+                    out.mtype, out.size, rnd, physical=physical
+                )
                 if traced:
                     tracer.wire(rnd, out, "flush", charged=True)
                 transmissions.append(out)
+
+        if not physical and transmissions:
+            self._record_physical_links(transmissions, rnd, "transmit")
 
         # Phase 3: deliver protocol messages.
         if traced:
@@ -642,24 +760,37 @@ class SynchronousNetwork:
                 wire = transport.write(acker, dest, ack, size_hint)
                 behavior = acker_node.behavior
                 if behavior is None:
-                    traffic.record_send(wire.mtype, wire.size, rnd)
+                    traffic.record_send(
+                        wire.mtype, wire.size, rnd, physical=physical
+                    )
                     if traced:
                         tracer.wire(rnd, wire, "send", charged=True)
                     ack_wires.append(wire)
                     continue
                 self._apply_send_filter(behavior, acker, wire, rnd, ack_wires)
+            if not physical and ack_wires:
+                self._record_physical_links(ack_wires, rnd, "ack")
             if fast:
                 self._deliver_fast(ack_wires, rnd)
             else:
                 self._deliver(ack_wires, rnd, is_ack_wave=True)
 
-        # Phase 5: halt-on-divergence check (P4).
+        # Phases 5 and 6 are shared with the envelope path.
+        halted_now = self._phase_halt_check(rnd)
+        self._phase_end(rnd, halted_now, omissions_before, rejections_before)
+
+    def _phase_halt_check(self, rnd: Round) -> List[NodeId]:
+        """Phase 5: halt-on-divergence check (P4)."""
+        nodes = self.nodes
+        tracer = self.tracer
+        traced = tracer.enabled
         if traced:
             tracer.phase(rnd, "halt_check", count=len(self._pending_handles))
         halted_now: List[NodeId] = []
         for (sender, _key), handle in self._pending_handles.items():
             if handle.diverged and handle.targets >= handle.threshold:
                 nodes[sender].enclave.halt(rnd)
+                self.invalidate_neighbour_cache(sender)
                 if sender not in halted_now:
                     halted_now.append(sender)
                 if traced:
@@ -668,8 +799,20 @@ class SynchronousNetwork:
                     "round %d: node %d halted on divergence (%d/%d acks)",
                     rnd, sender, handle.acks, handle.threshold,
                 )
+        return halted_now
 
-        # Phase 6: round end.
+    def _phase_end(
+        self,
+        rnd: Round,
+        halted_now: List[NodeId],
+        omissions_before: int,
+        rejections_before: int,
+    ) -> None:
+        """Phase 6: round end hooks, clock advance, round summary."""
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        tracer = self.tracer
+        traced = tracer.enabled
         live = sum(1 for node in nodes.values() if node.alive)
         if traced:
             tracer.phase(rnd, "end", count=live)
@@ -715,6 +858,31 @@ class SynchronousNetwork:
                 live, decided, halted_now,
             )
 
+    def _record_physical_links(
+        self, wires: List[WireMessage], rnd: Round, wave: str
+    ) -> None:
+        """Physical accounting for per-wire rounds: one crossing per link.
+
+        Adversarial filtering already happened per message, so each
+        surviving message keeps its own sealing — the envelope here is
+        only the link-layer batch (crossings coalesce, bytes do not).
+        """
+        links: Dict[Tuple[NodeId, NodeId], List[int]] = {}
+        for wire in wires:
+            entry = links.get((wire.sender, wire.receiver))
+            if entry is None:
+                links[(wire.sender, wire.receiver)] = [1, wire.size]
+            else:
+                entry[0] += 1
+                entry[1] += wire.size
+        traffic = self.stats.traffic
+        tracer = self.tracer
+        traced = tracer.enabled
+        for (sender, receiver), (count, total) in links.items():
+            traffic.record_envelope(count, total)
+            if traced:
+                tracer.envelope(rnd, sender, receiver, count, total, wave=wave)
+
     def _apply_send_filter(
         self,
         behavior: OSBehavior,
@@ -729,11 +897,12 @@ class SynchronousNetwork:
         traffic = self.stats.traffic
         tracer = self.tracer
         traced = tracer.enabled
+        physical = not self._envelope_accounting
         delivered_any = False
         for index, (delay, out) in enumerate(behavior.filter_send(wire, rnd)):
             delivered_any = True
             if delay <= 0:
-                traffic.record_send(out.mtype, out.size, rnd)
+                traffic.record_send(out.mtype, out.size, rnd, physical=physical)
                 immediate.append(out)
             else:
                 self._future_wires.setdefault(rnd + delay, []).append(out)
@@ -753,6 +922,360 @@ class SynchronousNetwork:
             traffic.record_omission()
             if traced:
                 tracer.wire(rnd, wire, "drop_send", actor=sender)
+
+    # ------------------------------------------------------------------
+    # the round-envelope fast path
+    # ------------------------------------------------------------------
+    def _run_round_envelope(self, rnd: Round) -> None:
+        """One round with per-link traffic coalescing.
+
+        Semantically identical to :meth:`_run_round` on its activation
+        domain (honest, homogeneous, untraced-or-non-FULL): same logical
+        traffic statistics, same dispatch order (so first-wins message
+        semantics match), same ACK credits, halts and round summaries.
+        Physically, everything one sender transmits to one receiver in
+        one wave crosses as a single :class:`Envelope` — one AEAD seal
+        (FULL) or one counter bump (MODELED/NONE) per link.
+        """
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        transport = self.transport
+        tracer = self.tracer
+        traced = tracer.enabled
+        full = transport.security is ChannelSecurity.FULL
+        omissions_before = traffic.omissions
+        rejections_before = traffic.rejections
+        self._pending_handles.clear()
+        self._ack_size_cache.clear()
+        self._ack_digest_by_id.clear()
+
+        # Phase 1: round begin (identical to the per-wire path).
+        self._outbox_now, self._outbox_next = self._outbox_next, []
+        if traced:
+            tracer.phase(rnd, "begin", count=len(self._outbox_now))
+        self._in_round_begin = True
+        for node in nodes.values():
+            if node.alive:
+                node.program.on_round_begin(node.context)
+        self._in_round_begin = False
+
+        # Phase 2: transmit.  First build the delivery plan — one entry
+        # per multicast, in emission order, so dispatch below replays the
+        # per-wire delivery order exactly — then seal one envelope per
+        # (sender, receiver) link.
+        if traced:
+            tracer.phase(rnd, "transmit", count=len(self._outbox_now))
+        digest_by_id = self._ack_digest_by_id
+        plan: List[Tuple[NodeId, Tuple[NodeId, ...], ProtocolMessage, int]] = []
+        per_sender: Dict[NodeId, List[tuple]] = {}
+        logical_count = 0
+        for intent in self._outbox_now:
+            if not nodes[intent.sender].alive:
+                continue
+            message = intent.message.with_round(rnd)
+            digest = self._ack_digest(_multicast_key(message))
+            if intent.expect_acks:
+                self._pending_handles[(intent.sender, digest)] = MulticastHandle(
+                    sender=intent.sender,
+                    rnd=rnd,
+                    key=digest,
+                    expect_acks=intent.expect_acks,
+                    threshold=intent.threshold,
+                    targets=len(intent.targets),
+                )
+            if not intent.targets:
+                continue
+            digest_by_id[id(message)] = digest
+            logical_count += len(intent.targets)
+            if full:
+                # FULL charges the real per-member sealed sizes, known
+                # only after sealing; bodies are encoded once per fan-out.
+                body = encode(message.to_tuple())
+                plan.append((intent.sender, intent.targets, message, 0))
+                per_sender.setdefault(intent.sender, []).append(
+                    (intent.targets, message, body)
+                )
+            else:
+                size_hint = transport.message_size(message)
+                plan.append((intent.sender, intent.targets, message, size_hint))
+                per_sender.setdefault(intent.sender, []).append(
+                    (intent.targets, message, size_hint)
+                )
+                traffic.record_send_bulk(
+                    message.type,
+                    size_hint * len(intent.targets),
+                    rnd,
+                    len(intent.targets),
+                    physical=False,
+                )
+                if traced:
+                    mtype = message.type.value
+                    sender = intent.sender
+                    for receiver in intent.targets:
+                        tracer.emit(WireEvent(
+                            rnd=rnd,
+                            sender=sender,
+                            receiver=receiver,
+                            size=size_hint,
+                            action="send",
+                            mtype=mtype,
+                            charged=True,
+                        ))
+        self._outbox_now = []
+
+        # Seal one envelope per link.  Counters advance per member, so
+        # channel state stays interchangeable with the per-wire path.
+        envelopes: List[Envelope] = []
+        overhead = CHANNEL_OVERHEAD_BYTES
+        for sender, entries in per_sender.items():
+            if full:
+                buckets: Dict[NodeId, List[tuple]] = {}
+                for targets, message, body in entries:
+                    for receiver in targets:
+                        buckets.setdefault(receiver, []).append((message, body))
+                for receiver, pairs in buckets.items():
+                    env = transport.seal_envelope(
+                        sender,
+                        receiver,
+                        None,
+                        encoded_bodies=[body for _, body in pairs],
+                    )
+                    for (message, _), msize in zip(pairs, env.member_sizes):
+                        traffic.record_send(
+                            message.type, msize, rnd, physical=False
+                        )
+                    traffic.record_envelope(env.count, env.size)
+                    envelopes.append(env)
+                continue
+            first_targets = entries[0][0]
+            if all(
+                e[0] is first_targets or e[0] == first_targets
+                for e in entries
+            ):
+                # Common case: every multicast this sender staged goes to
+                # the same receiver set — one shared member list, and the
+                # same physical size on every link (member bodies plus a
+                # single channel overhead).
+                members = [e[1] for e in entries]
+                env_size = (
+                    sum(e[2] for e in entries) - overhead * (len(entries) - 1)
+                )
+                for receiver in first_targets:
+                    envelopes.append(transport.seal_envelope(
+                        sender, receiver, members, size=env_size
+                    ))
+                traffic.record_envelopes(
+                    len(first_targets), env_size * len(first_targets)
+                )
+                if traced:
+                    count = len(members)
+                    for receiver in first_targets:
+                        tracer.envelope(rnd, sender, receiver, count, env_size)
+            else:
+                buckets = {}
+                sizes: Dict[NodeId, int] = {}
+                for targets, message, size_hint in entries:
+                    for receiver in targets:
+                        buckets.setdefault(receiver, []).append(message)
+                        sizes[receiver] = sizes.get(receiver, 0) + size_hint
+                for receiver, members in buckets.items():
+                    env_size = sizes[receiver] - overhead * (len(members) - 1)
+                    envelopes.append(transport.seal_envelope(
+                        sender, receiver, members, size=env_size
+                    ))
+                    traffic.record_envelope(len(members), env_size)
+                    if traced:
+                        tracer.envelope(
+                            rnd, sender, receiver, len(members), env_size
+                        )
+
+        # Phase 3: deliver.  Open each live receiver's envelopes (the
+        # link-level integrity / freshness checks, and for FULL the single
+        # AEAD open), then dispatch members in plan order.
+        if traced:
+            tracer.phase(rnd, "deliver", count=logical_count)
+        opened: Dict[Tuple[NodeId, NodeId], deque] = {}
+        for env in envelopes:
+            if not nodes[env.receiver].alive:
+                continue  # per-member omissions are recorded in dispatch
+            members = transport.open_envelope(env.receiver, env)
+            if full:
+                opened[(env.sender, env.receiver)] = deque(members)
+        n = self.config.n
+        dispatch = [None] * n
+        for node_id in range(n):
+            node = nodes[node_id]
+            dispatch[node_id] = (
+                node.enclave, node.program.on_message, node.context
+            )
+        halted = EnclaveState.HALTED
+        for sender, targets, message, size_hint in plan:
+            mtype = message.type.value if traced else None
+            for receiver in targets:
+                enclave, on_message, context = dispatch[receiver]
+                if enclave.state is halted:
+                    traffic.record_omission()
+                    if traced:
+                        tracer.emit(WireEvent(
+                            rnd=rnd,
+                            sender=sender,
+                            receiver=receiver,
+                            size=size_hint,
+                            action="omit_dead",
+                            mtype=mtype,
+                        ))
+                    continue
+                if full:
+                    on_message(
+                        context, sender, opened[(sender, receiver)].popleft()
+                    )
+                else:
+                    on_message(context, sender, message)
+
+        # Phase 4: ack wave (same round trip).
+        queue = self._ack_queue_fast
+        self._ack_queue_fast = []
+        if traced:
+            tracer.phase(rnd, "ack_wave", count=len(queue))
+        if queue:
+            if full:
+                self._ack_wave_envelope_full(queue, rnd)
+            else:
+                self._ack_wave_envelope(queue, rnd)
+
+        # Phases 5 and 6 are shared with the per-wire path.
+        halted_now = self._phase_halt_check(rnd)
+        self._phase_end(rnd, halted_now, omissions_before, rejections_before)
+
+    def _ack_wave_envelope(
+        self, queue: List[Tuple[NodeId, NodeId, bytes]], rnd: Round
+    ) -> None:
+        """Envelope-path ACK wave for MODELED/NONE transports.
+
+        ACKs are digests, never ProtocolMessage objects: every ACK of a
+        round has the same header and an 8-byte payload, so one modeled
+        size covers the whole wave.  Each link's ACKs cross as a single
+        counted envelope; (dest, digest) pairs credit their pending
+        handles in one addition each, exactly as the per-wire path's
+        sequential deliveries would.
+        """
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        transport = self.transport
+        tracer = self.tracer
+        traced = tracer.enabled
+        ack_size = transport.message_size(ProtocolMessage(
+            type=MessageType.ACK,
+            initiator=0,
+            seq=0,
+            payload=b"\x00" * 8,
+            rnd=rnd,
+            instance="",
+        ))
+        link_counts: Counter = Counter()
+        credits: Counter = Counter()
+        total = 0
+        for acker, dest, digest in queue:
+            if not nodes[acker].alive:
+                continue
+            total += 1
+            link_counts[(acker, dest)] += 1
+            credits[(dest, digest)] += 1
+            if traced:
+                tracer.emit(WireEvent(
+                    rnd=rnd,
+                    sender=acker,
+                    receiver=dest,
+                    size=ack_size,
+                    action="send",
+                    mtype=MessageType.ACK.value,
+                    charged=True,
+                ))
+        if total:
+            traffic.record_send_bulk(
+                MessageType.ACK, ack_size * total, rnd, total, physical=False
+            )
+        overhead = CHANNEL_OVERHEAD_BYTES
+        for (acker, dest), count in link_counts.items():
+            env_size = ack_size * count - overhead * (count - 1)
+            env = transport.seal_envelope(
+                acker, dest, None, count=count, size=env_size
+            )
+            traffic.record_envelope(count, env_size)
+            if traced:
+                tracer.envelope(rnd, acker, dest, count, env_size, wave="ack")
+            if nodes[dest].alive:
+                transport.open_envelope(dest, env)
+        if traced:
+            # The per-wire path records an omit_dead event per ACK to a
+            # halted destination, in queue order, after the sends.
+            for acker, dest, _digest in queue:
+                if nodes[acker].alive and not nodes[dest].alive:
+                    tracer.emit(WireEvent(
+                        rnd=rnd,
+                        sender=acker,
+                        receiver=dest,
+                        size=ack_size,
+                        action="omit_dead",
+                        mtype=MessageType.ACK.value,
+                    ))
+        handles = self._pending_handles
+        for (dest, digest), count in credits.items():
+            if not nodes[dest].alive:
+                traffic.record_omissions(count)
+                continue
+            handle = handles.get((dest, digest))
+            if handle is not None:
+                handle.acks += count
+            # ACKs for unknown multicasts are ignored, as in _deliver.
+
+    def _ack_wave_envelope_full(
+        self, queue: List[Tuple[NodeId, NodeId, bytes]], rnd: Round
+    ) -> None:
+        """Envelope-path ACK wave for the FULL transport.
+
+        Each link's ACKs seal as one envelope whose members carry their
+        own channel counters, so the logical per-ACK sizes (and the
+        per-link counter sequences) match per-message writes exactly.
+        """
+        nodes = self.nodes
+        traffic = self.stats.traffic
+        transport = self.transport
+        body_cache: Dict[bytes, bytes] = {}
+        links: Dict[Tuple[NodeId, NodeId], List[bytes]] = {}
+        for acker, dest, digest in queue:
+            if not nodes[acker].alive:
+                continue
+            links.setdefault((acker, dest), []).append(digest)
+        handles = self._pending_handles
+        for (acker, dest), digests in links.items():
+            bodies = []
+            for digest in digests:
+                body = body_cache.get(digest)
+                if body is None:
+                    body = encode(ProtocolMessage(
+                        type=MessageType.ACK,
+                        initiator=0,
+                        seq=0,
+                        payload=digest,
+                        rnd=rnd,
+                        instance="",
+                    ).to_tuple())
+                    body_cache[digest] = body
+                bodies.append(body)
+            env = transport.seal_envelope(
+                acker, dest, None, encoded_bodies=bodies
+            )
+            for msize in env.member_sizes:
+                traffic.record_send(MessageType.ACK, msize, rnd, physical=False)
+            traffic.record_envelope(env.count, env.size)
+            if not nodes[dest].alive:
+                traffic.record_omissions(env.count)
+                continue
+            for message in transport.open_envelope(dest, env):
+                handle = handles.get((dest, message.payload))
+                if handle is not None:
+                    handle.acks += 1
 
     def _ack_wave_fast(
         self, ack_queue: List[Tuple[NodeId, NodeId, ProtocolMessage]], rnd: Round

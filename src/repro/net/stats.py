@@ -10,6 +10,16 @@ benchmarks read these counters.  Conventions match the paper's evaluation:
 * *termination time* is simulated seconds until the last honest node
   accepts, where each round lasts ``max(2*delta, round_bytes/bandwidth)``
   under the shared-link model.
+
+Since the round-envelope layer the counters form a *dual ledger*:
+
+* the **logical** ledger (``messages_sent``, ``bytes_sent``, per-type and
+  per-round counters) counts protocol messages exactly as the paper's
+  Fig. 3 does, regardless of how they were batched on the wire;
+* the **physical** ledger (``envelopes_sent``, ``envelope_bytes_sent``)
+  counts what actually crossed each link — one envelope per
+  ``(sender, receiver, round)`` triple when the engine coalesces, one
+  per message on the per-wire paths (where the two ledgers mirror).
 """
 
 from __future__ import annotations
@@ -32,8 +42,18 @@ class TrafficStats:
     omissions: int = 0            # messages dropped (by adversary or checks)
     rejections: int = 0           # messages rejected by channel verification
     bytes_by_round: Counter = field(default_factory=Counter)
+    # Physical ledger: actual link crossings.  On per-wire paths every
+    # message is its own crossing (the ledgers mirror); the envelope path
+    # charges these separately via record_envelope(s).
+    envelopes_sent: int = 0
+    envelope_bytes_sent: int = 0
 
-    def record_send(self, mtype: MessageType, size: int, rnd: int) -> None:
+    def record_send(
+        self, mtype: MessageType, size: int, rnd: int, physical: bool = True
+    ) -> None:
+        """Charge one logical message; ``physical=False`` leaves the
+        physical ledger to a separate :meth:`record_envelope` call (the
+        envelope path charges link crossings, not messages)."""
         if size < 0:
             raise ValueError(f"message size must be non-negative, got {size}")
         self.messages_sent += 1
@@ -41,9 +61,17 @@ class TrafficStats:
         self.messages_by_type[mtype] += 1
         self.bytes_by_type[mtype] += size
         self.bytes_by_round[rnd] += size
+        if physical:
+            self.envelopes_sent += 1
+            self.envelope_bytes_sent += size
 
     def record_send_bulk(
-        self, mtype: MessageType, total_bytes: int, rnd: int, count: int
+        self,
+        mtype: MessageType,
+        total_bytes: int,
+        rnd: int,
+        count: int,
+        physical: bool = True,
     ) -> None:
         """Charge ``count`` same-type messages totalling ``total_bytes``.
 
@@ -63,6 +91,29 @@ class TrafficStats:
         self.messages_by_type[mtype] += count
         self.bytes_by_type[mtype] += total_bytes
         self.bytes_by_round[rnd] += total_bytes
+        if physical:
+            self.envelopes_sent += count
+            self.envelope_bytes_sent += total_bytes
+
+    def record_envelope(self, members: int, size: int) -> None:
+        """Charge one physical link crossing carrying ``members`` messages."""
+        if members < 1 or size < 0:
+            raise ValueError(
+                f"envelope must carry >=1 members with non-negative size, "
+                f"got members={members} size={size}"
+            )
+        self.envelopes_sent += 1
+        self.envelope_bytes_sent += size
+
+    def record_envelopes(self, count: int, total_bytes: int) -> None:
+        """Charge ``count`` link crossings totalling ``total_bytes``."""
+        if count < 0 or total_bytes < 0:
+            raise ValueError(
+                f"bulk envelopes must be non-negative, got count={count} "
+                f"bytes={total_bytes}"
+            )
+        self.envelopes_sent += count
+        self.envelope_bytes_sent += total_bytes
 
     def record_omission(self) -> None:
         self.omissions += 1
@@ -80,6 +131,17 @@ class TrafficStats:
     def megabytes_sent(self) -> float:
         return self.bytes_sent / (1024.0 * 1024.0)
 
+    @property
+    def physical_megabytes_sent(self) -> float:
+        return self.envelope_bytes_sent / (1024.0 * 1024.0)
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Logical messages per physical crossing (1.0 on per-wire paths)."""
+        if self.envelopes_sent == 0:
+            return 1.0
+        return self.messages_sent / self.envelopes_sent
+
     def round_bytes(self, rnd: int) -> int:
         return self.bytes_by_round[rnd]
 
@@ -92,6 +154,10 @@ class TrafficStats:
         """
         registry.counter(f"{prefix}.messages_sent").inc(self.messages_sent)
         registry.counter(f"{prefix}.bytes_sent").inc(self.bytes_sent)
+        registry.counter(f"{prefix}.envelopes_sent").inc(self.envelopes_sent)
+        registry.counter(f"{prefix}.envelope_bytes_sent").inc(
+            self.envelope_bytes_sent
+        )
         registry.counter(f"{prefix}.omissions").inc(self.omissions)
         registry.counter(f"{prefix}.rejections").inc(self.rejections)
         for mtype, count in self.messages_by_type.items():
@@ -107,11 +173,18 @@ class TrafficStats:
                 self.messages_by_type.items(), key=lambda kv: kv[0].value
             )
         )
-        return (
+        text = (
             f"{self.messages_sent} msgs / {self.megabytes_sent:.3f} MB "
             f"({per_type}); omissions={self.omissions}, "
             f"rejections={self.rejections}"
         )
+        if self.envelopes_sent and self.envelopes_sent != self.messages_sent:
+            text += (
+                f"; envelopes={self.envelopes_sent} / "
+                f"{self.physical_megabytes_sent:.3f} MB physical "
+                f"({self.coalescing_ratio:.1f}x coalesced)"
+            )
+        return text
 
 
 @dataclass

@@ -20,10 +20,11 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import replace
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.channel.peer_channel import (
     ChannelTable,
+    Envelope,
     SecureChannel,
     WireMessage,
     modeled_wire_size,
@@ -74,6 +75,37 @@ class Transport:
         ]
 
     def read(self, receiver: NodeId, wire: WireMessage) -> ProtocolMessage:
+        raise NotImplementedError
+
+    def seal_envelope(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+        encoded_bodies: Optional[Sequence[bytes]] = None,
+    ) -> Envelope:
+        """Seal one link's whole round of traffic as a single crossing.
+
+        Non-FULL transports take the engine-computed physical ``size``
+        (member bodies + one channel overhead) and an optional explicit
+        ``count`` (the modeled ACK wave passes ``members=None``); FULL
+        takes ``encoded_bodies`` and seals them with one AEAD call,
+        reporting the per-wire-equivalent logical sizes in
+        ``Envelope.member_sizes``.  Channel counters advance exactly as
+        ``count`` per-message writes would, so counter state stays
+        interchangeable with the per-wire path.
+        """
+        raise NotImplementedError
+
+    def open_envelope(
+        self, receiver: NodeId, envelope: Envelope
+    ) -> Optional[Tuple[ProtocolMessage, ...]]:
+        """Verify one envelope (routing, integrity, freshness) and return
+        its members (None when the envelope carries no plaintext objects,
+        e.g. the modeled ACK wave).  Raises like :meth:`read`."""
         raise NotImplementedError
 
     def message_size(self, message: ProtocolMessage) -> int:
@@ -147,6 +179,34 @@ class FullTransport(Transport):
         enclave.guard()
         channel = self._table.get(wire.sender, receiver)
         return channel.read(receiver, wire)
+
+    def seal_envelope(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+        encoded_bodies: Optional[Sequence[bytes]] = None,
+    ) -> Envelope:
+        if encoded_bodies is None:
+            assert members is not None
+            encoded_bodies = [encode(m.to_tuple()) for m in members]
+        enclave = self._enclaves[sender]
+        enclave.guard()
+        channel = self._table.get(sender, receiver)
+        return channel.write_envelope(
+            sender, encoded_bodies, enclave.rdrand.rng(), enclave.measurement
+        )
+
+    def open_envelope(
+        self, receiver: NodeId, envelope: Envelope
+    ) -> Tuple[ProtocolMessage, ...]:
+        enclave = self._enclaves[receiver]
+        enclave.guard()
+        channel = self._table.get(envelope.sender, receiver)
+        return channel.read_envelope(receiver, envelope)
 
 
 class ModeledTransport(Transport):
@@ -242,6 +302,55 @@ class ModeledTransport(Transport):
             raise ProtocolError("modeled wire message without plaintext")
         return wire.plain
 
+    def seal_envelope(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+        encoded_bodies: Optional[Sequence[bytes]] = None,
+    ) -> Envelope:
+        # One guard and one counter-row update per link per wave; the
+        # counter advances by the member count, so the per-pair counter
+        # state stays identical to `count` sequential writes.
+        self._enclaves[sender].guard()
+        k = count if count is not None else len(members)
+        row = self._send[sender]
+        counter = row[receiver] + k
+        row[receiver] = counter
+        return Envelope(
+            sender=sender,
+            receiver=receiver,
+            counter=counter,
+            size=size if size is not None else 0,
+            count=k,
+            members=members,
+            member_measurement=self._measurements[sender],
+        )
+
+    def open_envelope(
+        self, receiver: NodeId, envelope: Envelope
+    ) -> Optional[Tuple[ProtocolMessage, ...]]:
+        self._enclaves[receiver].guard()
+        if envelope.receiver != receiver:
+            raise IntegrityError("envelope routed to the wrong node")
+        expected = self._measurements[receiver]
+        if envelope.member_measurement != expected:
+            raise IntegrityError(
+                "message bound to a different program (H(pi) mismatch)"
+            )
+        accepted = self._accepted[receiver]
+        sender = envelope.sender
+        if envelope.counter <= accepted[sender]:
+            raise ReplayError(
+                f"stale envelope counter {envelope.counter} from {sender} "
+                f"(highest accepted {accepted[sender]})"
+            )
+        accepted[sender] = envelope.counter
+        return envelope.members
+
 
 class PlainTransport(Transport):
     """No security at all — Algorithm 1's world, for attack demos only."""
@@ -309,3 +418,33 @@ class PlainTransport(Transport):
             # Even the strawman's TCP layer delivers to the addressee.
             return replace(wire, receiver=receiver).plain
         return wire.plain
+
+    def seal_envelope(
+        self,
+        sender: NodeId,
+        receiver: NodeId,
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+        encoded_bodies: Optional[Sequence[bytes]] = None,
+    ) -> Envelope:
+        self._enclaves[sender].guard()
+        k = count if count is not None else len(members)
+        self._counter += k
+        return Envelope(
+            sender=sender,
+            receiver=receiver,
+            counter=self._counter,
+            size=size if size is not None else 0,
+            count=k,
+            members=members,
+            opaque=False,
+        )
+
+    def open_envelope(
+        self, receiver: NodeId, envelope: Envelope
+    ) -> Optional[Tuple[ProtocolMessage, ...]]:
+        self._enclaves[receiver].guard()
+        # No verification of any kind: Algorithm 1's world.
+        return envelope.members

@@ -24,6 +24,7 @@ from repro.obs.events import (
     ROUND_PHASES,
     ChurnEvent,
     DecisionEvent,
+    EnvelopeEvent,
     HaltEvent,
     PhaseEvent,
     ProtocolEvent,
@@ -53,6 +54,7 @@ __all__ = [
     "ChurnEvent",
     "Counter",
     "DecisionEvent",
+    "EnvelopeEvent",
     "Gauge",
     "HaltEvent",
     "Histogram",

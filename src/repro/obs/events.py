@@ -12,6 +12,9 @@ The event kinds mirror the paper's evaluation vocabulary:
 * :class:`WireEvent` — one OS-level action on one wire message
   (transmit, drop, delay, replay, modify, reject, ...), generalizing the
   Definition A.5 ``ActionTrace``;
+* :class:`EnvelopeEvent` — one *physical* link crossing of the round
+  envelope layer: how many logical messages it coalesced and the bytes
+  that actually crossed (the compression ``repro inspect`` reports);
 * :class:`RoundSpan` — the closing summary of one round (bytes, wall
   time, omissions, halts) — the unit Fig. 2/3 aggregate over;
 * :class:`HaltEvent` — halt-on-divergence firing (P4): ACK count vs
@@ -77,6 +80,27 @@ class WireEvent:
     mtype: Optional[str] = None
     actor: Optional[int] = None
     charged: bool = False
+
+
+@dataclass
+class EnvelopeEvent:
+    """One physical link crossing of the round-envelope layer.
+
+    All messages node ``sender`` transmitted to node ``receiver`` in round
+    ``rnd`` during one wave (``transmit`` or ``ack``) crossed as a single
+    envelope of ``size`` physical bytes carrying ``count`` logical
+    messages.  Wire events keep reporting the *logical* view, so traces of
+    envelope runs stay comparable to per-wire traces; envelope events are
+    the extra layer that makes the coalescing visible.
+    """
+
+    kind: ClassVar[str] = "envelope"
+    rnd: int
+    sender: int
+    receiver: int
+    count: int
+    size: int
+    wave: str = "transmit"
 
 
 @dataclass
@@ -150,6 +174,7 @@ EVENT_TYPES: Dict[str, type] = {
     for cls in (
         PhaseEvent,
         WireEvent,
+        EnvelopeEvent,
         RoundSpan,
         HaltEvent,
         DecisionEvent,

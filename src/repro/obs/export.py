@@ -18,6 +18,7 @@ from typing import Dict, Iterable, List, Sequence
 from repro.obs.events import (
     ChurnEvent,
     DecisionEvent,
+    EnvelopeEvent,
     HaltEvent,
     PhaseEvent,
     RoundSpan,
@@ -144,6 +145,19 @@ def render_timeline(events: Sequence[object]) -> str:
                 f"      !! wire events sum to {wire_bytes[rnd]} bytes "
                 f"but the round span recorded {span.bytes}"
             )
+
+    envelopes = [e for e in events if isinstance(e, EnvelopeEvent)]
+    if envelopes:
+        crossings = len(envelopes)
+        carried = sum(e.count for e in envelopes)
+        physical = sum(e.size for e in envelopes)
+        ratio = carried / crossings if crossings else 1.0
+        lines.append("")
+        lines.append(
+            f"envelopes: {crossings} link crossings carrying {carried} "
+            f"messages ({ratio:.1f}x coalesced), {physical} physical bytes "
+            f"vs {total_bytes} logical"
+        )
 
     halts = [h for entry in rounds.values() for h in entry["halts"]]
     if halts:

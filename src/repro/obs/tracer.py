@@ -21,6 +21,7 @@ from typing import Iterable, List, Optional
 from repro.obs.events import (
     ChurnEvent,
     DecisionEvent,
+    EnvelopeEvent,
     HaltEvent,
     PhaseEvent,
     ProtocolEvent,
@@ -152,6 +153,28 @@ class Tracer:
         if self.enabled:
             for wire in wires:
                 self.wire(rnd, wire, action, actor=actor, charged=charged)
+
+    def envelope(
+        self,
+        rnd: int,
+        sender: int,
+        receiver: int,
+        count: int,
+        size: int,
+        wave: str = "transmit",
+    ) -> None:
+        """Record one physical link crossing of the envelope layer."""
+        if self.enabled:
+            self.emit(
+                EnvelopeEvent(
+                    rnd=rnd,
+                    sender=sender,
+                    receiver=receiver,
+                    count=count,
+                    size=size,
+                    wave=wave,
+                )
+            )
 
     def halt(self, rnd: int, node: int, acks: int, threshold: int) -> None:
         if self.enabled:

@@ -46,6 +46,10 @@ def _snapshot(result):
 
 
 def _legacy_config(config: SimulationConfig) -> SimulationConfig:
+    # Both fast paths off: the true per-wire baseline.  (The round-envelope
+    # path outranks the fan-out path, so pinning fan-out vs per-wire
+    # requires disabling the envelope layer on both sides; the envelope
+    # layer has its own equivalence suite in test_envelope_fast_path.py.)
     return SimulationConfig(
         n=config.n,
         t=config.t,
@@ -55,7 +59,11 @@ def _legacy_config(config: SimulationConfig) -> SimulationConfig:
         ack_threshold=config.ack_threshold,
         seed=config.seed,
         random_bits=config.random_bits,
-        extra={**config.extra, "disable_fanout_fast_path": True},
+        extra={
+            **config.extra,
+            "disable_fanout_fast_path": True,
+            "disable_envelope_fast_path": True,
+        },
     )
 
 
@@ -68,7 +76,9 @@ def _legacy_config(config: SimulationConfig) -> SimulationConfig:
     ],
 )
 def test_honest_erb_fast_equals_legacy(security, n):
-    extra = {"dh_group": "small"} if security is ChannelSecurity.FULL else {}
+    extra = {"disable_envelope_fast_path": True}
+    if security is ChannelSecurity.FULL:
+        extra["dh_group"] = "small"
     config = SimulationConfig(n=n, seed=5, channel_security=security, extra=extra)
     fast = run_erb(config, initiator=0, message=b"equiv")
     legacy = run_erb(_legacy_config(config), initiator=0, message=b"equiv")
@@ -77,7 +87,9 @@ def test_honest_erb_fast_equals_legacy(security, n):
 
 
 def test_honest_erng_fast_equals_legacy():
-    config = SimulationConfig(n=12, seed=8)
+    config = SimulationConfig(
+        n=12, seed=8, extra={"disable_envelope_fast_path": True}
+    )
     fast = run_erng(config)
     legacy = run_erng(_legacy_config(config))
     assert _snapshot(fast) == _snapshot(legacy)
@@ -122,7 +134,11 @@ def test_traced_run_falls_back_with_identical_action_trace():
     """Tracing disables the fast path, and the batched write still emits
     per-wire events: charged sizes per round reproduce bytes_by_round and
     the Definition A.5 ActionTrace view keeps working."""
-    config = SimulationConfig(n=8, seed=3, extra={"trace_actions": True})
+    config = SimulationConfig(
+        n=8,
+        seed=3,
+        extra={"trace_actions": True, "disable_envelope_fast_path": True},
+    )
 
     def factory(node_id):
         return ErbProgram(

@@ -15,11 +15,13 @@ Sweep sizes are controlled by ``REPRO_BENCH_SCALE``:
 
 from __future__ import annotations
 
+import contextlib
 import json
 import math
 import os
+import subprocess
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.obs.metrics import PROFILER, MetricsRegistry
 
@@ -35,9 +37,69 @@ if SCALE not in ("smoke", "default", "full"):
     raise RuntimeError(f"unknown REPRO_BENCH_SCALE={SCALE!r}")
 
 
+#: Worker count for the parallel-engine benchmark cases.  Overridable so
+#: CI smoke runs (2-core runners) and developer machines measure what
+#: their hardware actually has.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+
+
 def pick(smoke, default, full):
     """Choose a sweep by scale."""
     return {"smoke": smoke, "default": default, "full": full}[SCALE]
+
+
+def git_revision() -> Optional[str]:
+    """The repo's short git rev, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def machine_stamp(workers: Optional[int] = None) -> Dict:
+    """Provenance fields for persisted benchmark history entries.
+
+    Timestamp-only entries from different machines are incomparable;
+    stamping the git rev, CPU count and worker count makes a
+    ``BENCH_*.json`` history line reproducible evidence rather than an
+    anecdote.
+    """
+    stamp: Dict = {
+        "git_rev": git_revision(),
+        "cpu_count": os.cpu_count(),
+    }
+    if workers is not None:
+        stamp["workers"] = workers
+    return stamp
+
+
+@contextlib.contextmanager
+def maybe_profile(name: str):
+    """cProfile a benchmark section when ``REPRO_BENCH_PROFILE_OUT`` is
+    set: dumps ``<dir>/<name>.pstats`` alongside the metrics sidecars."""
+    out_dir = os.environ.get("REPRO_BENCH_PROFILE_OUT")
+    if not out_dir:
+        yield None
+        return
+    import cProfile
+
+    path = Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield profiler
+    finally:
+        profiler.disable()
+        profiler.dump_stats(path / f"{name}.pstats")
 
 
 def powers_of_two(lo: int, hi: int) -> List[int]:

@@ -13,7 +13,16 @@ regressions that would make the figure sweeps impractical:
   (~516k logical messages), plus the envelope vs legacy comparison that
   records ``envelope_speedup_vs_legacy`` — the coalescing layer's
   headline number;
+* one honest ERB instance at the paper's N = 1024 maximum on the sharded
+  parallel engine, and the sharded vs serial ERNG N = 64 comparison that
+  records ``parallel_speedup_vs_serial`` (worker count set by
+  ``REPRO_BENCH_WORKERS``, default 4);
 * FULL-crypto channel write/read round trip.
+
+History entries in ``BENCH_engine.json`` are stamped with the git rev,
+CPU count and worker count so numbers from different machines stay
+comparable; set ``REPRO_BENCH_PROFILE_OUT=<dir>`` to drop ``pstats``
+profiles of the engine cases alongside the metrics sidecars.
 
 The engine cases persist rounds/sec and messages/sec into
 ``benchmarks/results/engine_throughput.json`` and append one entry to the
@@ -24,12 +33,20 @@ accumulates across PRs.
 from __future__ import annotations
 
 import json
+import os
 import time
 from pathlib import Path
 from time import perf_counter
 
 import pytest
-from bench_common import SCALE, pick, save_results
+from bench_common import (
+    SCALE,
+    WORKERS,
+    machine_stamp,
+    maybe_profile,
+    pick,
+    save_results,
+)
 
 from repro import SimulationConfig, run_erb, run_erng
 from repro.obs import NullSink, Tracer
@@ -83,6 +100,7 @@ def _persist_engine_rows() -> None:
     entry = {
         "timestamp": _SESSION_STAMP,
         "scale": SCALE,
+        **machine_stamp(workers=WORKERS),
         "cases": dict(_ENGINE_ROWS),
     }
     fanout = _ENGINE_ROWS.get("erb_n64_fanout")
@@ -101,6 +119,12 @@ def _persist_engine_rows() -> None:
     if envelope and erng_fanout:
         entry["envelope_speedup_vs_fanout"] = round(
             envelope["messages_per_sec"] / erng_fanout["messages_per_sec"], 3
+        )
+    parallel = _ENGINE_ROWS.get("erng_n64_parallel")
+    serial = _ENGINE_ROWS.get("erng_n64_serial") or envelope
+    if parallel and serial:
+        entry["parallel_speedup_vs_serial"] = round(
+            parallel["messages_per_sec"] / serial["messages_per_sec"], 3
         )
     try:
         payload = json.loads(BENCH_FILE.read_text())
@@ -262,6 +286,70 @@ def test_engine_erng_envelope_vs_legacy():
         # The acceptance bar for the envelope layer: >= 3x over per-wire.
         assert env_seconds * 3 <= legacy_seconds, (
             f"envelope path only {legacy_seconds / env_seconds:.2f}x faster"
+        )
+
+
+def test_engine_erb_n1024():
+    """Honest ERB at the paper's N = 2^10 maximum (smoke: 128) on the
+    sharded engine — the Fig. 2/3 extreme point this PR makes a routine
+    benchmark case rather than minutes of wall clock."""
+    n = pick(128, 1024, 1024)
+
+    def run():
+        result = run_erb(
+            SimulationConfig(n=n, seed=24, workers=WORKERS),
+            initiator=0,
+            message=b"perf-1024",
+        )
+        assert result.rounds_executed == 2
+        return result
+
+    with maybe_profile(f"erb_n{n}_parallel"):
+        seconds, result = _time_best(run, repeats=1 if SCALE == "smoke" else 2)
+    assert result.traffic.messages_sent == 2 * n * (n - 1)
+    _record_engine_case(f"erb_n{n}", n, seconds, result)
+
+
+def test_engine_erng_n64_parallel_vs_serial():
+    """Sharded engine vs the serial envelope path on the same seeded
+    honest ERNG run at N = 64: byte-identical observables, wall-clock
+    recorded side by side, and ``parallel_speedup_vs_serial`` appended to
+    the BENCH_engine.json history.
+
+    The speedup floor only applies where it is physically meaningful:
+    a host with fewer cores than workers cannot speed anything up, which
+    is why history entries carry the machine stamp (cpu_count, workers).
+    """
+
+    def parallel():
+        return run_erng(SimulationConfig(n=64, seed=21, workers=WORKERS))
+
+    def serial():
+        return run_erng(SimulationConfig(n=64, seed=21))
+
+    repeats = 1 if SCALE == "smoke" else 3
+    with maybe_profile("erng_n64_parallel"):
+        par_seconds, par = _time_best(parallel, repeats=repeats)
+    ser_seconds, ser = _time_best(serial, repeats=repeats)
+
+    # The mandatory equivalence: sharding may only change wall time.
+    assert par.outputs == ser.outputs
+    assert par.halted == ser.halted
+    assert par.decided_rounds == ser.decided_rounds
+    assert dict(par.traffic.bytes_by_round) == dict(ser.traffic.bytes_by_round)
+    assert par.traffic.messages_sent == ser.traffic.messages_sent == 516096
+    assert par.traffic.bytes_sent == ser.traffic.bytes_sent
+    assert par.traffic.envelopes_sent == ser.traffic.envelopes_sent
+    assert par.traffic.envelope_bytes_sent == ser.traffic.envelope_bytes_sent
+
+    _record_engine_case("erng_n64_parallel", 64, par_seconds, par)
+    _record_engine_case("erng_n64_serial", 64, ser_seconds, ser)
+    cores = os.cpu_count() or 1
+    if SCALE != "smoke" and cores >= WORKERS:
+        # The acceptance bar for the sharded engine: >= 2x at 4 workers.
+        assert par_seconds * 2 <= ser_seconds, (
+            f"parallel path only {ser_seconds / par_seconds:.2f}x faster "
+            f"({WORKERS} workers on {cores} cores)"
         )
 
 

@@ -79,9 +79,22 @@ def _print_result(result, label: str) -> None:
     print(f"  traffic:           {result.traffic.summary()}")
 
 
+def _config_for(args: argparse.Namespace, **overrides) -> SimulationConfig:
+    """The SimulationConfig shared by every protocol subcommand."""
+    params = dict(
+        n=args.n,
+        t=args.t,
+        seed=args.seed,
+        tracer=_tracer_for(args),
+        workers=getattr(args, "workers", 1),
+    )
+    params.update(overrides)
+    return SimulationConfig(**params)
+
+
 def _cmd_erb(args: argparse.Namespace) -> int:
-    tracer = _tracer_for(args)
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
+    config = _config_for(args)
+    tracer = config.tracer
     behaviors = None
     if args.chain:
         behaviors = chain_delay_strategy(
@@ -102,8 +115,8 @@ def _cmd_erb(args: argparse.Namespace) -> int:
 
 
 def _cmd_erng(args: argparse.Namespace) -> int:
-    tracer = _tracer_for(args)
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
+    config = _config_for(args)
+    tracer = config.tracer
     result = run_erng(config)
     _finish_trace(tracer, args)
     _print_result(result, f"unoptimized ERNG over N={args.n}")
@@ -112,8 +125,8 @@ def _cmd_erng(args: argparse.Namespace) -> int:
 
 def _cmd_erng_opt(args: argparse.Namespace) -> int:
     t = args.t if args.t >= 0 else args.n // 3
-    tracer = _tracer_for(args)
-    config = SimulationConfig(n=args.n, t=t, seed=args.seed, tracer=tracer)
+    config = _config_for(args, t=t)
+    tracer = config.tracer
     cluster = ClusterConfig(
         mode=args.mode,
         gamma=args.gamma,
@@ -133,8 +146,8 @@ def _cmd_agreement(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    tracer = _tracer_for(args)
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
+    config = _config_for(args)
+    tracer = config.tracer
     result = run_byzantine_agreement(
         config, {i: value for i, value in enumerate(inputs_list)}
     )
@@ -163,8 +176,8 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
 
 def _cmd_churn(args: argparse.Namespace) -> int:
     byzantine = [int(x) for x in args.byzantine.split(",")] if args.byzantine else []
-    tracer = _tracer_for(args)
-    config = SimulationConfig(n=args.n, t=args.t, seed=args.seed, tracer=tracer)
+    config = _config_for(args)
+    tracer = config.tracer
     driver = ChurnDriver(
         config, byzantine=byzantine, misbehave_p=args.p, seed=args.seed
     )
@@ -214,6 +227,16 @@ def build_parser() -> argparse.ArgumentParser:
             help="byzantine bound (default: protocol maximum)",
         )
         p.add_argument("--seed", type=int, default=0, help="simulation seed")
+        p.add_argument(
+            "--workers", type=int, default=1, metavar="P",
+            help="shard node execution across P worker processes "
+            "(results are byte-identical to --workers 1)",
+        )
+        p.add_argument(
+            "--profile-out", default=None, metavar="PATH",
+            help="cProfile the run and dump pstats data to PATH "
+            "(inspect with `python -m pstats PATH`)",
+        )
         p.add_argument(
             "--trace-out", default=None, metavar="PATH",
             help="write a JSONL trace of the run (inspect with "
@@ -286,7 +309,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     _configure_logging(getattr(args, "verbose", 0))
+    profile_out = getattr(args, "profile_out", None)
     try:
+        if profile_out:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            try:
+                return profiler.runcall(args.func, args)
+            finally:
+                profiler.dump_stats(profile_out)
+                print(f"profile written to {profile_out}", file=sys.stderr)
         return args.func(args)
     except BrokenPipeError:  # e.g. `repro inspect ... | head`
         return 0

@@ -86,6 +86,13 @@ class SimulationConfig:
         tracer: optional :class:`repro.obs.tracer.Tracer` the engine and
             protocols emit structured events into.  ``None`` (the
             default) runs untraced at zero overhead.
+        workers: number of OS processes the round engine may shard node
+            execution across.  ``1`` (the default) runs everything in
+            process; values above 1 enable the sharded parallel path for
+            honest MODELED/NONE runs (adversarial, traced-FULL and
+            heterogeneous runs fall back to the serial engine, which is
+            byte-identical).  Purely a performance knob: results never
+            depend on it.
     """
 
     n: int
@@ -98,6 +105,7 @@ class SimulationConfig:
     random_bits: int = 128
     extra: dict = field(default_factory=dict)
     tracer: Optional["Tracer"] = None
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -114,6 +122,10 @@ class SimulationConfig:
             raise ConfigurationError(f"delta must be positive, got {self.delta}")
         if self.random_bits < 1:
             raise ConfigurationError("random_bits must be >= 1")
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}"
+            )
 
     @property
     def round_seconds(self) -> float:

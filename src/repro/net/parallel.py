@@ -1,0 +1,801 @@
+"""Sharded multi-process round engine.
+
+A synchronous lockstep round is embarrassingly parallel across
+*receivers*: on the honest envelope path (the only domain where this
+module engages, see ``SynchronousNetwork._parallel_eligible``) a node's
+round work — its ``on_round_begin`` / ``on_message`` / ``on_round_end``
+transitions, outbound message sizing and ACK digest computation — reads
+and writes only that node's enclave plus the network-level queues, never
+another node's state.  So the engine can partition the ``n`` nodes into
+``P`` shards (``node_id % P``), give every shard its own *forked* worker
+process holding a full replica of the network, and run each round as a
+sequence of barriers:
+
+``begin``     workers run ``on_round_begin`` for their owned nodes and
+              ship back staged send-intents (packed, with digests and
+              modeled sizes precomputed in the worker);
+``transmit``  the coordinator (main process) merges the per-shard
+              intents back into exact serial emission order, builds the
+              delivery plan and does *all* traffic accounting;
+``deliver``   the plan is broadcast once; each worker dispatches the
+              members addressed to its owned receivers and ships back
+              ACKs, next-round intents and voluntary halts;
+``ack_wave``  the coordinator credits the pending multicast handles
+              (reusing the serial ``_ack_wave_envelope`` verbatim on
+              traced runs; on untraced runs the workers pre-aggregate);
+``halt_check``/``end``  run on the coordinator's node mirror / in the
+              workers respectively, with divergence halts shipped down
+              so every replica observes the same liveness.
+
+Determinism: per-node RNG streams live in the enclaves, which are
+sharded wholesale; shard assignment is a pure function of ``node_id``;
+every cross-process collection is keyed (node id, emission index, plan
+position) and merged in sorted key order, which provably reconstructs
+the serial engine's iteration order.  A parallel run therefore yields
+byte-identical ``RunResult`` snapshots, ``TrafficStats`` ledgers and
+traced event streams versus ``_run_round_envelope`` — enforced by
+``tests/test_parallel_engine.py``.
+
+Bookkeeping that is *not* replicated: the coordinator performs no
+transmit-side ``seal_envelope``/``open_envelope`` calls (on MODELED/NONE
+transports these only advance internal channel counters, which nothing
+on the eligible domain can observe), and worker-side tracers are
+swapped for in-memory sinks whose events are shipped back each barrier.
+
+If worker processes cannot be forked at all, :func:`run_parallel`
+returns ``None`` and the caller falls back to the serial engine; a
+worker dying *mid-run* raises, because shard state is already ahead of
+the coordinator's mirror.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import CHANNEL_OVERHEAD_BYTES
+from repro.common.types import MessageType, ProtocolMessage
+from repro.net.simulator import (
+    MulticastHandle,
+    RunResult,
+    SynchronousNetwork,
+    _multicast_key,
+    _SendIntent,
+)
+from repro.net.stats import RoundRecord
+from repro.obs.events import RoundSpan, WireEvent
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.sgx.enclave import EnclaveState
+
+_LOG = logging.getLogger("repro.engine")
+
+#: The network replica a freshly forked worker inherits.  Set in the
+#: parent strictly for the duration of pool warm-up (the fork happens on
+#: the first task submission), consumed by :func:`_worker_init` in the
+#: child, and cleared on both sides immediately after.
+_FORK_NETWORK: Optional[SynchronousNetwork] = None
+
+#: Worker-side shard state, created once per process by _worker_init.
+_STATE: Optional["_WorkerState"] = None
+
+
+class _WorkerState:
+    __slots__ = ("net", "shard", "nshards", "owned", "events", "traced")
+
+    net: SynchronousNetwork
+    shard: int
+    nshards: int
+    owned: List[int]
+    events: Optional[List[object]]
+    traced: bool
+
+
+# A packed send intent, as shipped from workers to the coordinator:
+# (sender, targets, message, size, digest, expect_acks, threshold).
+# ``targets`` is ``None`` when the intent goes to the sender's full
+# neighbour set — by far the common case — so a mesh multicast ships a
+# sentinel instead of n-1 node ids; both sides resolve it through their
+# own (identical) neighbour cache.
+_PackedIntent = Tuple[int, Optional[Tuple[int, ...]], ProtocolMessage, int,
+                      bytes, bool, int]
+
+
+def _pack_intent(
+    intent: _SendIntent, rnd: int, net: SynchronousNetwork
+) -> _PackedIntent:
+    """Stamp, size and digest one staged intent (the per-sender work the
+    serial transmit phase does inline, here parallelized into the worker
+    that ran the emitting hook)."""
+    message = intent.message.with_round(rnd)
+    digest = net._ack_digest(_multicast_key(message))
+    targets: Optional[Tuple[int, ...]] = intent.targets
+    size = net.transport.message_size(message) if targets else 0
+    if targets and targets is net._neighbour_cache.get(intent.sender):
+        targets = None
+    return (
+        intent.sender, targets, message, size, digest,
+        intent.expect_acks, intent.threshold,
+    )
+
+
+# ----------------------------------------------------------------------
+# worker-side barrier handlers (run inside the forked shard processes)
+# ----------------------------------------------------------------------
+
+def _worker_init(shard: int, nshards: int) -> int:
+    """First task a freshly forked worker runs: claim the inherited
+    network replica and reduce it to this shard's view."""
+    global _STATE, _FORK_NETWORK
+    net = _FORK_NETWORK
+    _FORK_NETWORK = None
+    if net is None:  # pragma: no cover - defensive: spawn start method
+        raise RuntimeError(
+            "parallel engine worker started without a forked network"
+        )
+    st = _WorkerState()
+    st.net = net
+    st.shard = shard
+    st.nshards = nshards
+    st.owned = [i for i in range(net.config.n) if i % nshards == shard]
+    st.traced = net.tracer.enabled
+    if st.traced:
+        # Replace the inherited tracer (whose sinks may hold duplicated
+        # file handles) with a memory sink; events ship back per barrier.
+        tracer = Tracer.memory()
+        net.tracer = tracer
+        st.events = tracer.events
+    else:
+        net.tracer = NULL_TRACER
+        st.events = None
+    # The coordinator owns all queue state; worker replicas start clean.
+    net._outbox_now.clear()
+    net._outbox_next.clear()
+    net._ack_queue.clear()
+    net._ack_queue_fast.clear()
+    net._ack_digest_by_id.clear()
+    _STATE = st
+    return shard
+
+
+def _check_no_stray_acks(net: SynchronousNetwork, hook: str) -> None:
+    if net._ack_queue_fast or net._ack_queue:
+        raise RuntimeError(
+            f"parallel engine: ctx.acknowledge during {hook} is not "
+            "supported (ACKs must answer a delivered message); "
+            "run with workers=1"
+        )
+
+
+def _worker_begin(rnd: int):
+    """Barrier 1: on_round_begin for owned live nodes, in node order."""
+    st = _STATE
+    net = st.net
+    net.current_round = rnd
+    outbox = net._outbox_now
+    events = st.events
+    halted: List[int] = []
+    staged: List[tuple] = []
+    batches: List[tuple] = []
+    net._in_round_begin = True
+    for node_id in st.owned:
+        node = net.nodes[node_id]
+        if not node.alive:
+            continue
+        obase = len(outbox)
+        ebase = len(events) if events is not None else 0
+        node.program.on_round_begin(node.context)
+        if node.enclave.halted:
+            halted.append(node_id)
+        for idx in range(obase, len(outbox)):
+            staged.append(
+                ((node_id, idx - obase), _pack_intent(outbox[idx], rnd, net))
+            )
+        if events is not None and len(events) > ebase:
+            batches.append((node_id, events[ebase:]))
+    net._in_round_begin = False
+    outbox.clear()
+    if events is not None:
+        events.clear()
+    _check_no_stray_acks(net, "on_round_begin")
+    return halted, staged, batches
+
+
+def _worker_deliver(blob: bytes):
+    """Barrier 2: dispatch the plan's members to owned receivers.
+
+    Returns voluntary halts, per-(plan, target) omission keys for dead
+    owned receivers, the ACK wave (raw and keyed when traced, else
+    pre-aggregated link/credit counters), staged next-round intents and
+    traced event batches.
+    """
+    st = _STATE
+    net = st.net
+    rnd, packed = pickle.loads(blob)
+    digest_by_id = net._ack_digest_by_id
+    digest_by_id.clear()
+    plan = []
+    for sender, targets, message, digest in packed:
+        if targets is None:
+            targets = net.neighbour_tuple(sender)
+        digest_by_id[id(message)] = digest
+        plan.append((sender, targets, message))
+    nshards = st.nshards
+    shard = st.shard
+    nodes = net.nodes
+    outbox = net._outbox_next
+    ackq = net._ack_queue_fast
+    events = st.events
+    traced = st.traced
+    halted: List[int] = []
+    omitted: List[tuple] = []
+    staged: List[tuple] = []
+    batches: List[tuple] = []
+    raw_acks: List[tuple] = []
+    halted_state = EnclaveState.HALTED
+    next_rnd = rnd + 1
+    for i, (sender, targets, message) in enumerate(plan):
+        for j, receiver in enumerate(targets):
+            if receiver % nshards != shard:
+                continue
+            node = nodes[receiver]
+            enclave = node.enclave
+            if enclave.state is halted_state:
+                omitted.append((i, j))
+                continue
+            abase = len(ackq)
+            obase = len(outbox)
+            ebase = len(events) if traced else 0
+            node.program.on_message(node.context, sender, message)
+            if enclave.state is halted_state:
+                halted.append(receiver)
+            if traced and len(ackq) > abase:
+                for k in range(abase, len(ackq)):
+                    raw_acks.append(((i, j, k - abase), ackq[k]))
+            for idx in range(obase, len(outbox)):
+                staged.append(
+                    ((i, j, idx - obase),
+                     _pack_intent(outbox[idx], next_rnd, net))
+                )
+            if traced and len(events) > ebase:
+                batches.append(((i, j), events[ebase:]))
+    link_counts: Dict[tuple, int] = {}
+    credits: Dict[tuple, int] = {}
+    total = 0
+    if not traced:
+        # Pre-aggregate the wave.  The serial ACK wave drops a halted
+        # acker's queued ACKs at wave time; since every ACK a node emits
+        # is handled in its own shard, final liveness is known locally.
+        for acker, dest, digest in ackq:
+            if nodes[acker].enclave.state is halted_state:
+                continue
+            total += 1
+            key = (acker, dest)
+            link_counts[key] = link_counts.get(key, 0) + 1
+            ckey = (dest, digest)
+            credits[ckey] = credits.get(ckey, 0) + 1
+    ackq.clear()
+    outbox.clear()
+    if traced:
+        events.clear()
+    return (
+        halted, omitted, link_counts, credits, total, raw_acks, staged,
+        batches,
+    )
+
+
+def _worker_end(rnd: int, halted_now: List[int], seconds: float):
+    """Barrier 3: apply divergence halts, run on_round_end, advance the
+    shard's clock replica, and report decided / all-done state."""
+    st = _STATE
+    net = st.net
+    for node_id in halted_now:
+        enclave = net.nodes[node_id].enclave
+        if not enclave.halted:
+            enclave.halt(rnd)
+            net.invalidate_neighbour_cache(node_id)
+    outbox = net._outbox_next
+    events = st.events
+    traced = st.traced
+    halted: List[int] = []
+    staged: List[tuple] = []
+    batches: List[tuple] = []
+    next_rnd = rnd + 1
+    for node_id in st.owned:
+        node = net.nodes[node_id]
+        if not node.alive:
+            continue
+        obase = len(outbox)
+        ebase = len(events) if traced else 0
+        node.program.on_round_end(node.context)
+        if node.enclave.halted:
+            halted.append(node_id)
+        for idx in range(obase, len(outbox)):
+            staged.append(
+                ((node_id, idx - obase),
+                 _pack_intent(outbox[idx], next_rnd, net))
+            )
+        if traced and len(events) > ebase:
+            batches.append((node_id, events[ebase:]))
+    outbox.clear()
+    if traced:
+        events.clear()
+    _check_no_stray_acks(net, "on_round_end")
+    net.clock.advance(seconds)
+    decided = 0
+    all_done = True
+    for node_id in st.owned:
+        node = net.nodes[node_id]
+        if node.program.has_output:
+            decided += 1
+        elif node.alive:
+            all_done = False
+    return halted, staged, batches, decided, all_done
+
+
+def _worker_finish():
+    """Final barrier: on_protocol_end, then ship the terminal per-node
+    state back as plain tuples.
+
+    Plain tuples, not program objects: ``EnclaveProgram`` tracks its
+    undecided state with a module-level ``_UNSET`` singleton compared by
+    identity, which pickling would silently break.
+    """
+    st = _STATE
+    net = st.net
+    events = st.events
+    traced = st.traced
+    batches: List[tuple] = []
+    for node_id in st.owned:
+        node = net.nodes[node_id]
+        if not node.alive:
+            continue
+        ebase = len(events) if traced else 0
+        node.program.on_protocol_end(node.context)
+        if traced and len(events) > ebase:
+            batches.append((node_id, events[ebase:]))
+    final = []
+    for node_id in st.owned:
+        node = net.nodes[node_id]
+        program = node.program
+        has_output = program.has_output
+        final.append((
+            node_id,
+            node.alive,
+            node.enclave.halted_round,
+            has_output,
+            program.output if has_output else None,
+            program.decided_round,
+            node.enclave.rdrand,
+        ))
+    return batches, final
+
+
+# ----------------------------------------------------------------------
+# coordinator side
+# ----------------------------------------------------------------------
+
+class _ShardPool:
+    """P warm single-process executors, one per shard.
+
+    Single-worker executors (rather than one P-worker pool) pin each
+    shard to one process for the whole run — the fixed shard→worker
+    assignment that keeps per-node RNG streams and caches deterministic.
+    """
+
+    def __init__(self, network: SynchronousNetwork, nshards: int) -> None:
+        global _FORK_NETWORK
+        ctx = multiprocessing.get_context("fork")
+        self.executors: List[ProcessPoolExecutor] = []
+        # Flush any buffered tracer sinks: the children inherit open file
+        # objects, and a non-empty write buffer would be flushed twice.
+        for sink in network.tracer.sinks:
+            fh = getattr(sink, "_fh", None)
+            if fh is not None and not fh.closed:
+                fh.flush()
+        _FORK_NETWORK = network
+        try:
+            for shard in range(nshards):
+                ex = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+                self.executors.append(ex)
+                # Submitting forces the fork now, while the replica is
+                # exported; init runs in the fresh child.
+                ex.submit(_worker_init, shard, nshards).result()
+        except BaseException:
+            self.shutdown()
+            raise
+        finally:
+            _FORK_NETWORK = None
+
+    def broadcast(self, fn, *args) -> list:
+        futures = [ex.submit(fn, *args) for ex in self.executors]
+        return [future.result() for future in futures]
+
+    def shutdown(self) -> None:
+        for ex in self.executors:
+            ex.shutdown(wait=True, cancel_futures=True)
+
+
+class _Coordinator:
+    """Runs the round loop against a shard pool.
+
+    The coordinator's own ``SynchronousNetwork`` acts as the *mirror*:
+    its enclaves' liveness is kept in lockstep with the shards (worker
+    hooks never run here), so plan building, halt checks and the final
+    ``RunResult`` read the same state the serial engine would.
+    """
+
+    def __init__(self, network: SynchronousNetwork, pool: _ShardPool) -> None:
+        self.net = network
+        self.pool = pool
+        self.traced = network.tracer.enabled
+        # Setup ran in the main process before the fork, so the round-1
+        # emissions are staged here, not in any worker.
+        intents = network._outbox_next
+        network._outbox_next = []
+        self.pending: List[_PackedIntent] = [
+            _pack_intent(intent, 1, network) for intent in intents
+        ]
+
+    # -- helpers -------------------------------------------------------
+
+    def _apply_halts(self, node_ids: List[int], rnd: int) -> None:
+        net = self.net
+        for node_id in node_ids:
+            enclave = net.nodes[node_id].enclave
+            if not enclave.halted:
+                enclave.halt(rnd)
+                net.invalidate_neighbour_cache(node_id)
+
+    def _emit_batches(self, batches: List[tuple]) -> None:
+        """Splice per-node event batches back in serial (key) order."""
+        emit = self.net.tracer.emit
+        batches.sort(key=lambda kv: kv[0])
+        for _key, events in batches:
+            for event in events:
+                emit(event)
+
+    # -- the round loop ------------------------------------------------
+
+    def run(self, max_rounds: int) -> RunResult:
+        net = self.net
+        for rnd in range(1, max_rounds + 1):
+            net.current_round = rnd
+            if self._round(rnd):
+                break
+        return self._finish()
+
+    def _round(self, rnd: int) -> bool:
+        net = self.net
+        nodes = net.nodes
+        traffic = net.stats.traffic
+        tracer = net.tracer
+        traced = self.traced
+        omissions_before = traffic.omissions
+        rejections_before = traffic.rejections
+        net._pending_handles.clear()
+        net._ack_size_cache.clear()
+
+        # Phase 1: round begin.  Carried-over intents (staged during the
+        # previous round's deliver/end hooks, already packed) precede the
+        # ones on_round_begin emits now, exactly as the serial outbox
+        # swap orders them.
+        outbox = self.pending
+        self.pending = []
+        if traced:
+            tracer.phase(rnd, "begin", count=len(outbox))
+        begin_events: List[tuple] = []
+        begin_staged: List[tuple] = []
+        for halted, staged, batches in self.pool.broadcast(_worker_begin, rnd):
+            self._apply_halts(halted, rnd)
+            begin_staged.extend(staged)
+            begin_events.extend(batches)
+        if traced:
+            self._emit_batches(begin_events)
+        begin_staged.sort(key=lambda kv: kv[0])
+        outbox.extend(record for _key, record in begin_staged)
+
+        # Phase 2: transmit.  All accounting happens here on the
+        # coordinator's ledger, replaying the serial transmit loop over
+        # the merged outbox; sizes and digests were computed in the
+        # workers (or in _pack_intent for round-1 setup intents).
+        if traced:
+            tracer.phase(rnd, "transmit", count=len(outbox))
+        handles = net._pending_handles
+        plan: List[tuple] = []
+        per_sender: Dict[int, List[tuple]] = {}
+        logical_count = 0
+        for record in outbox:
+            sender, targets, message, size, digest, expect_acks, threshold \
+                = record
+            if not nodes[sender].alive:
+                continue
+            resolved = (
+                net.neighbour_tuple(sender) if targets is None else targets
+            )
+            if expect_acks:
+                handles[(sender, digest)] = MulticastHandle(
+                    sender=sender,
+                    rnd=rnd,
+                    key=digest,
+                    expect_acks=expect_acks,
+                    threshold=threshold,
+                    targets=len(resolved),
+                )
+            if not resolved:
+                continue
+            logical_count += len(resolved)
+            plan.append((sender, targets, resolved, message, size, digest))
+            per_sender.setdefault(sender, []).append((resolved, size))
+            traffic.record_send_bulk(
+                message.type,
+                size * len(resolved),
+                rnd,
+                len(resolved),
+                physical=False,
+            )
+            if traced:
+                mtype = message.type.value
+                for receiver in resolved:
+                    tracer.emit(WireEvent(
+                        rnd=rnd,
+                        sender=sender,
+                        receiver=receiver,
+                        size=size,
+                        action="send",
+                        mtype=mtype,
+                        charged=True,
+                    ))
+
+        # Physical ledger: one envelope per (sender, receiver) link, the
+        # same coalescing arithmetic as the serial path.  No channel
+        # seal/open here — on MODELED/NONE those only bump internal
+        # counters nothing on the eligible domain observes.
+        overhead = CHANNEL_OVERHEAD_BYTES
+        for sender, entries in per_sender.items():
+            first_targets = entries[0][0]
+            if all(
+                e[0] is first_targets or e[0] == first_targets
+                for e in entries
+            ):
+                env_size = (
+                    sum(e[1] for e in entries) - overhead * (len(entries) - 1)
+                )
+                traffic.record_envelopes(
+                    len(first_targets), env_size * len(first_targets)
+                )
+                if traced:
+                    count = len(entries)
+                    for receiver in first_targets:
+                        tracer.envelope(rnd, sender, receiver, count, env_size)
+            else:
+                buckets: Dict[int, int] = {}
+                sizes: Dict[int, int] = {}
+                for targets, size in entries:
+                    for receiver in targets:
+                        buckets[receiver] = buckets.get(receiver, 0) + 1
+                        sizes[receiver] = sizes.get(receiver, 0) + size
+                for receiver, count in buckets.items():
+                    env_size = sizes[receiver] - overhead * (count - 1)
+                    traffic.record_envelope(count, env_size)
+                    if traced:
+                        tracer.envelope(rnd, sender, receiver, count, env_size)
+
+        # Phase 3: deliver.  One broadcast of the (packed) plan; the
+        # workers dispatch, the coordinator accounts.
+        if traced:
+            tracer.phase(rnd, "deliver", count=logical_count)
+        blob = pickle.dumps(
+            (rnd, [(s, raw, m, d) for s, raw, _res, m, _sz, d in plan]),
+            pickle.HIGHEST_PROTOCOL,
+        )
+        deliver_staged: List[tuple] = []
+        omitted: List[tuple] = []
+        raw_acks: List[tuple] = []
+        link_counts: Dict[tuple, int] = {}
+        credits: Dict[tuple, int] = {}
+        ack_total = 0
+        deliver_events: Dict[tuple, list] = {}
+        for response in self.pool.broadcast(_worker_deliver, blob):
+            (halted, w_omitted, w_links, w_credits, w_total, w_raw,
+             staged, batches) = response
+            self._apply_halts(halted, rnd)
+            omitted.extend(w_omitted)
+            deliver_staged.extend(staged)
+            if traced:
+                raw_acks.extend(w_raw)
+                for key, events in batches:
+                    deliver_events[key] = events
+            else:
+                for key, value in w_links.items():
+                    link_counts[key] = link_counts.get(key, 0) + value
+                for key, value in w_credits.items():
+                    credits[key] = credits.get(key, 0) + value
+                ack_total += w_total
+        if omitted:
+            traffic.record_omissions(len(omitted))
+        if traced:
+            # Replay dispatch order: per (plan index, target index),
+            # either the receiver's hook events or its omit_dead event.
+            omitted_keys = set(omitted)
+            emit = tracer.emit
+            for i, (sender, _raw, resolved, message, size, _d) in \
+                    enumerate(plan):
+                mtype = message.type.value
+                for j, receiver in enumerate(resolved):
+                    events = deliver_events.get((i, j))
+                    if events:
+                        for event in events:
+                            emit(event)
+                    elif (i, j) in omitted_keys:
+                        emit(WireEvent(
+                            rnd=rnd,
+                            sender=sender,
+                            receiver=receiver,
+                            size=size,
+                            action="omit_dead",
+                            mtype=mtype,
+                        ))
+
+        # Phase 4: ack wave.
+        if traced:
+            raw_acks.sort(key=lambda kv: kv[0])
+            queue = [ack for _key, ack in raw_acks]
+            tracer.phase(rnd, "ack_wave", count=len(queue))
+            if queue:
+                net._ack_wave_envelope(queue, rnd)
+        elif ack_total or credits:
+            self._ack_wave_aggregated(link_counts, credits, ack_total, rnd)
+
+        # Phases 5 and 6.
+        halted_now = net._phase_halt_check(rnd)
+        live = sum(1 for node in nodes.values() if node.alive)
+        if traced:
+            tracer.phase(rnd, "end", count=live)
+        seconds = net.config.round_seconds
+        round_bytes = traffic.round_bytes(rnd)
+        bandwidth = net.config.bandwidth_bytes_per_s
+        if bandwidth:
+            seconds = max(seconds, round_bytes / bandwidth)
+        end_staged: List[tuple] = []
+        end_events: List[tuple] = []
+        decided = 0
+        all_done = True
+        for halted, staged, batches, w_decided, w_done in \
+                self.pool.broadcast(_worker_end, rnd, halted_now, seconds):
+            self._apply_halts(halted, rnd)
+            end_staged.extend(staged)
+            end_events.extend(batches)
+            decided += w_decided
+            all_done = all_done and w_done
+        if traced:
+            self._emit_batches(end_events)
+        net.clock.advance(seconds)
+        net.stats.rounds.append(
+            RoundRecord(rnd=rnd, bytes=round_bytes, seconds=seconds)
+        )
+        if traced or _LOG.isEnabledFor(logging.DEBUG):
+            omissions = traffic.omissions - omissions_before
+            rejections = traffic.rejections - rejections_before
+            if traced:
+                tracer.emit(RoundSpan(
+                    rnd=rnd,
+                    bytes=round_bytes,
+                    seconds=seconds,
+                    omissions=omissions,
+                    rejections=rejections,
+                    live=live,
+                    decided=decided,
+                    halted=halted_now,
+                ))
+            _LOG.debug(
+                "round %d: bytes=%d seconds=%.3f omissions=%d rejections=%d "
+                "live=%d decided=%d halted=%s [parallel x%d]",
+                rnd, round_bytes, seconds, omissions, rejections,
+                live, decided, halted_now, len(self.pool.executors),
+            )
+        deliver_staged.sort(key=lambda kv: kv[0])
+        end_staged.sort(key=lambda kv: kv[0])
+        self.pending = [record for _key, record in deliver_staged]
+        self.pending.extend(record for _key, record in end_staged)
+        return all_done
+
+    def _ack_wave_aggregated(
+        self,
+        link_counts: Dict[tuple, int],
+        credits: Dict[tuple, int],
+        total: int,
+        rnd: int,
+    ) -> None:
+        """Untraced ACK wave from worker-aggregated counters — the same
+        arithmetic as ``_ack_wave_envelope``, minus per-ACK iteration."""
+        net = self.net
+        nodes = net.nodes
+        traffic = net.stats.traffic
+        ack_size = net.transport.message_size(ProtocolMessage(
+            type=MessageType.ACK,
+            initiator=0,
+            seq=0,
+            payload=b"\x00" * 8,
+            rnd=rnd,
+            instance="",
+        ))
+        if total:
+            traffic.record_send_bulk(
+                MessageType.ACK, ack_size * total, rnd, total, physical=False
+            )
+        overhead = CHANNEL_OVERHEAD_BYTES
+        for (_acker, _dest), count in link_counts.items():
+            traffic.record_envelope(count, ack_size * count - overhead * (count - 1))
+        handles = net._pending_handles
+        for (dest, digest), count in credits.items():
+            if not nodes[dest].alive:
+                traffic.record_omissions(count)
+                continue
+            handle = handles.get((dest, digest))
+            if handle is not None:
+                handle.acks += count
+
+    # -- protocol end --------------------------------------------------
+
+    def _finish(self) -> RunResult:
+        net = self.net
+        batches: List[tuple] = []
+        final: Dict[int, tuple] = {}
+        for w_batches, w_final in self.pool.broadcast(_worker_finish):
+            batches.extend(w_batches)
+            for record in w_final:
+                final[record[0]] = record
+        if self.traced:
+            self._emit_batches(batches)
+        outputs: Dict[int, object] = {}
+        decided: Dict[int, Optional[int]] = {}
+        halted: List[int] = []
+        for node_id in sorted(final):
+            (_nid, alive, halted_round, has_output, output, decided_round,
+             rdrand) = final[node_id]
+            enclave = net.nodes[node_id].enclave
+            # Re-sync the mirror's per-node RNG stream so a follow-up
+            # instance on this network (replace_programs) continues the
+            # exact stream a serial run would.
+            enclave.rdrand = rdrand
+            if not alive:
+                if not enclave.halted:  # halts during on_protocol_end
+                    enclave.halt(halted_round)
+                    net.invalidate_neighbour_cache(node_id)
+                halted.append(node_id)
+            if has_output:
+                outputs[node_id] = output
+                decided[node_id] = decided_round
+        return RunResult(
+            outputs=outputs,
+            halted=halted,
+            stats=net.stats,
+            decided_rounds=decided,
+        )
+
+
+def run_parallel(
+    network: SynchronousNetwork, max_rounds: int
+) -> Optional[RunResult]:
+    """Run an eligible network on the sharded engine.
+
+    Returns ``None`` — *before* mutating any state — when worker
+    processes cannot be forked, in which case the caller runs the serial
+    engine instead.
+    """
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None  # pragma: no cover - POSIX containers always fork
+    nshards = min(network.config.workers, network.config.n)
+    try:
+        pool = _ShardPool(network, nshards)
+    except (OSError, BrokenProcessPool) as exc:  # pragma: no cover
+        _LOG.warning("parallel engine unavailable (%s); running serial", exc)
+        return None
+    try:
+        return _Coordinator(network, pool).run(max_rounds)
+    finally:
+        pool.shutdown()

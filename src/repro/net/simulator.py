@@ -47,9 +47,8 @@ the physical ledger still records one coalesced crossing per link.
 from __future__ import annotations
 
 import logging
-from collections import Counter, deque
+from collections import Counter, OrderedDict, deque
 from dataclasses import dataclass
-from itertools import islice
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.adversary.behaviors import OSBehavior
@@ -134,9 +133,11 @@ def _multicast_key(message: ProtocolMessage) -> tuple:
     )
 
 
-#: Cap on each network's ACK-digest cache; past it the *oldest half* is
-#: evicted (dict insertion order), so entries hot in the current round
-#: survive — a full clear would evict them mid-round.
+#: Cap on each network's ACK-digest cache.  The cache is a true LRU
+#: (:class:`collections.OrderedDict`): every hit refreshes its entry, and
+#: at the cap the least-recently-used entry is evicted — so the multicast
+#: identities hot in the current round can never be displaced by a long
+#: tail of stale ones.
 _DIGEST_CACHE_LIMIT = 4096
 
 
@@ -314,6 +315,10 @@ class SynchronousNetwork:
                 context=EnclaveContext(self, node_id),
             )
 
+        # The transports hold a reference to this same dict, so swapping
+        # an entry here (parallel-run re-integration) updates them too.
+        self._enclaves = enclaves
+
         self.transport: Transport
         if config.channel_security is ChannelSecurity.FULL:
             self.transport = FullTransport(enclaves, self._dh_group)
@@ -347,8 +352,9 @@ class SynchronousNetwork:
         # on instance swap).
         self._ack_size_cache: Dict[tuple, int] = {}
         # Per-network ACK digest cache (H(val) per multicast identity);
-        # networks must not share it — see _ack_digest.
-        self._digest_cache: Dict[tuple, bytes] = {}
+        # networks must not share it — see _ack_digest.  OrderedDict: the
+        # eviction policy is LRU.
+        self._digest_cache: "OrderedDict[tuple, bytes]" = OrderedDict()
         self._in_round_begin = False
         # The observability hub.  config.tracer wins; the legacy
         # extra["trace_actions"] flag gets a memory tracer so the
@@ -477,17 +483,20 @@ class SynchronousNetwork:
         Cached per multicast identity — within one round every receiver
         ACKs the same few multicast values.  The cache is per-network
         (digests are pure functions of the key, but a shared cache would
-        let one network's churn evict another's hot entries) and bounded
-        by evicting the oldest half, so current-round entries survive.
+        let one network's churn evict another's hot entries) and a
+        bounded LRU: hits refresh recency, and at the cap the single
+        least-recently-used entry is evicted, so current-round identities
+        always survive arbitrarily long runs.
         """
         cache = self._digest_cache
         digest = cache.get(key)
         if digest is None:
             if len(cache) >= _DIGEST_CACHE_LIMIT:
-                for stale in list(islice(cache, len(cache) // 2)):
-                    del cache[stale]
+                cache.popitem(last=False)
             digest = hash_bytes(encode(key), domain="ack")[:8]
             cache[key] = digest
+        else:
+            cache.move_to_end(key)
         return digest
 
     def _queue_ack(
@@ -560,10 +569,24 @@ class SynchronousNetwork:
     # main loop
     # ------------------------------------------------------------------
     def run(self, max_rounds: int) -> RunResult:
-        """Execute the protocol for at most ``max_rounds`` rounds."""
+        """Execute the protocol for at most ``max_rounds`` rounds.
+
+        With ``config.workers > 1`` an eligible run (honest, homogeneous,
+        MODELED/NONE — see :meth:`_parallel_eligible`) executes on the
+        sharded multi-process engine of :mod:`repro.net.parallel`, which
+        is byte-identical to the serial envelope path; everything else
+        (and any failure to spawn workers) falls back to the serial
+        engine below.
+        """
         if max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
         self._setup()
+        if self._parallel_eligible():
+            from repro.net.parallel import run_parallel
+
+            result = run_parallel(self, max_rounds)
+            if result is not None:
+                return result
         envelope = self._envelope_fast_path
         for rnd in range(1, max_rounds + 1):
             self.current_round = rnd
@@ -575,6 +598,24 @@ class SynchronousNetwork:
                 break
         self._finish()
         return self._result()
+
+    def _parallel_eligible(self) -> bool:
+        """Whether this run may use the sharded multi-process engine.
+
+        The parallel path inherits every activation condition of the
+        round-envelope path (honest — so ROD/byzantine schedules that act
+        on individual wires fall back automatically — homogeneous
+        measurements, not explicitly disabled) and additionally requires
+        a non-FULL transport: FULL seals draw per-link enclave RNG whose
+        stream order a sharded run cannot reproduce byte-identically.
+        """
+        return (
+            self.config.workers > 1
+            and self.config.n > 1
+            and self._envelope_fast_path
+            and self.transport.security is not ChannelSecurity.FULL
+            and not self.config.extra.get("disable_parallel_engine", False)
+        )
 
     def _setup(self) -> None:
         self.current_round = 0

@@ -115,6 +115,25 @@ class TrafficStats:
         self.envelopes_sent += count
         self.envelope_bytes_sent += total_bytes
 
+    def merge(self, other: "TrafficStats") -> None:
+        """Fold another ledger into this one — logical *and* physical.
+
+        Used to combine per-shard ledgers from the parallel engine (and
+        generally any disjoint sub-run accounting) into one run total:
+        every counter adds, so merging the shards of one round is
+        arithmetically identical to recording every event on a single
+        ledger.
+        """
+        self.messages_sent += other.messages_sent
+        self.bytes_sent += other.bytes_sent
+        self.messages_by_type.update(other.messages_by_type)
+        self.bytes_by_type.update(other.bytes_by_type)
+        self.bytes_by_round.update(other.bytes_by_round)
+        self.omissions += other.omissions
+        self.rejections += other.rejections
+        self.envelopes_sent += other.envelopes_sent
+        self.envelope_bytes_sent += other.envelope_bytes_sent
+
     def record_omission(self) -> None:
         self.omissions += 1
 

@@ -260,18 +260,27 @@ def test_digest_cache_is_per_network():
     assert net_b._digest_cache == {}  # untouched by the other network
 
 
-def test_digest_cache_evicts_oldest_half():
+def test_digest_cache_evicts_least_recently_used():
     network = _build_network(SimulationConfig(n=4, seed=12))
     cache = network._digest_cache
     for index in range(_DIGEST_CACHE_LIMIT):
-        cache[("filler", index)] = b"x" * 8
-    hot_key = ("filler", _DIGEST_CACHE_LIMIT - 1)
+        network._ack_digest(("filler", index))
+    assert len(cache) == _DIGEST_CACHE_LIMIT
+    # A hit refreshes recency: touch the oldest entry, then overflow.
+    refreshed = network._ack_digest(("filler", 0))
     digest = network._ack_digest(("fresh", 0))
     assert len(digest) == 8
-    # Oldest half evicted, newest retained, fresh entry present.
-    assert ("filler", 0) not in cache
-    assert hot_key in cache
+    # Exactly one entry is evicted — the least recently used, which is
+    # ("filler", 1) now that ("filler", 0) was touched.
+    assert len(cache) == _DIGEST_CACHE_LIMIT
+    assert ("filler", 1) not in cache
+    assert ("filler", 0) in cache
     assert ("fresh", 0) in cache
-    assert len(cache) == _DIGEST_CACHE_LIMIT // 2 + 1
-    # Cached digests are stable.
+    # Cached digests are stable across hits.
+    assert network._ack_digest(("filler", 0)) == refreshed
     assert network._ack_digest(("fresh", 0)) == digest
+    # Eviction order is exactly insertion-refreshed LRU order: the next
+    # overflow removes ("filler", 2), the current least recently used.
+    network._ack_digest(("fresh", 1))
+    assert ("filler", 2) not in cache
+    assert ("filler", 3) in cache

@@ -14,6 +14,15 @@ The failure-mode hierarchy of Definition A.5 maps onto these classes:
 * ROD              — adds :class:`DelayAdversary`, :class:`ReplayAdversary`;
 * byzantine        — adds :class:`TamperAdversary`, :class:`EquivocationForger`,
   :class:`LookaheadBiasAdversary` (the latter two only bite under ``NONE``).
+
+Two layers build on these primitives: :mod:`repro.adversary.strategies`
+hand-coordinates multi-node attacks (the Fig. 2c delay chain), and the
+fault-injection campaign (:mod:`repro.campaign.schedule`) compiles
+declarative, serialisable fault schedules onto them so whole adversary
+grids can be swept, shrunk and replayed from the command line.  The
+prose version of this model — which class defeats which property, and
+which engine fast paths disable themselves under it — lives in
+``docs/ADVERSARIES.md``.
 """
 
 from repro.adversary.behaviors import CompositeBehavior, OSBehavior, PassthroughBehavior

@@ -16,6 +16,12 @@ Behaviours never see decrypted payloads unless the simulation runs with
 ``ChannelSecurity.NONE`` (the strawman demos): under FULL the payload is
 ciphertext, and under MODELED the convention is that behaviours only read
 routing metadata and flags, mirroring exactly what a real OS observes.
+
+Attaching *any* behaviour to a node makes the engine route that node's
+traffic through the per-wire path (the envelope and parallel fast paths
+require homogeneous honest rounds — see ``docs/ARCHITECTURE.md``), so
+adversarial semantics never depend on which fast path a run would
+otherwise take.
 """
 
 from __future__ import annotations

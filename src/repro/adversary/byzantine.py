@@ -9,6 +9,12 @@ under ``ChannelSecurity.NONE`` — i.e. against the strawman protocol
 (Algorithm 1), whose lack of enclave protections is exactly what Section
 2.3 uses to motivate P1-P6.  They read and rewrite plaintext, which the
 blinded channel makes impossible.
+
+Campaign schedules reach :class:`TamperAdversary` through the fault kind
+``tamper`` (:mod:`repro.campaign.schedule`) — the top of the Definition
+A.5 hierarchy, and the class the sanitization invariant expects P4 to
+eject (every tampered multicast is treated as omitted, so the tamperer
+starves its own ACK quorum).
 """
 
 from __future__ import annotations

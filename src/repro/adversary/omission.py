@@ -6,6 +6,12 @@ and drops keyed on the *identity* of the counterparty.  The latter is
 exactly the attack halt-on-divergence (P4) punishes: a node that omits its
 multicast to more than ``N - 1 - t`` peers cannot collect ``t`` ACKs and
 its enclave churns itself out of the network.
+
+Campaign schedules (:mod:`repro.campaign.schedule`) reach these classes
+through the fault kinds ``omit_send`` / ``omit_recv``
+(:class:`SelectiveOmission`), ``random_omission``
+(:class:`RandomOmission`) and ``mute_recv`` (:class:`ReceiveOmission`) —
+all classified ``GENERAL_OMISSION`` per Definition A.5.
 """
 
 from __future__ import annotations

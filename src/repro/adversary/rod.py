@@ -7,6 +7,11 @@ Both attacks are *attempted* faithfully and defeated by different layers:
   receiving enclave treat a wrong-round message as omitted;
 * a replayed wire message carries a counter at or below the receiver's
   replay-guard high-water mark (P6) and is rejected by the channel.
+
+Together with the omission classes these span the ROD (replay-omission-
+delay) model of Definition A.5; campaign schedules reach them through
+the fault kinds ``delay`` and ``replay``
+(:mod:`repro.campaign.schedule`).
 """
 
 from __future__ import annotations

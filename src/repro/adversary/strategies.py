@@ -6,6 +6,12 @@ exactly one other byzantine node per round and is then eliminated (it
 collected at most one ACK).  The value thus crawls through all ``f``
 byzantine nodes before reaching an honest peer, stretching ERB to its
 ``min{f+2, t+2}`` bound — the linear growth visible in Fig. 2c.
+
+These strategies are hand-coordinated (node roles depend on each other);
+the campaign layer (:mod:`repro.campaign.runner`) instead *generates*
+per-node schedules from a seed, trading coordination for sweepable,
+shrinkable coverage.  Both compile down to the same
+:class:`~repro.adversary.behaviors.OSBehavior` interface.
 """
 
 from __future__ import annotations

@@ -1,0 +1,93 @@
+"""repro.campaign — seeded fault-injection campaigns over the protocols.
+
+The campaign harness turns the hand-written adversarial tests into a
+swept, data-driven pipeline:
+
+* :mod:`repro.campaign.schedule` — declarative, serialisable fault
+  schedules (:class:`Fault` / :class:`Schedule`) that compile onto the
+  existing adversary behaviours, with optional activity windows (churn);
+* :mod:`repro.campaign.spec` — :class:`CaseSpec`, the replayable unit of
+  execution (protocol, N, t, seed, schedule, channel);
+* :mod:`repro.campaign.invariants` — executable paper invariants checked
+  after every run (agreement, validity, integrity, termination bounds,
+  sanitization, liveness, ERNG unbiasedness smoke);
+* :mod:`repro.campaign.runner` — strategy/churn presets, the grid
+  builder, :func:`run_case` / :func:`run_campaign`, and the serial-vs-
+  parallel engine cross-check;
+* :mod:`repro.campaign.shrink` — greedy deterministic minimisation of a
+  failing case to its smallest reproducer;
+* :mod:`repro.campaign.artifact` — canonical-JSON failure artifacts and
+  the byte-identical ``python -m repro replay`` pipeline.
+
+CLI entry points: ``python -m repro campaign`` and
+``python -m repro replay`` (see :mod:`repro.cli`); the adversary model
+the strategies sweep is documented in ``docs/ADVERSARIES.md``.
+"""
+
+from repro.campaign.artifact import (
+    FailureArtifact,
+    ReplayOutcome,
+    make_artifact,
+    read_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from repro.campaign.invariants import (
+    Violation,
+    case_round_bound,
+    check_run,
+    check_unbiasedness,
+)
+from repro.campaign.runner import (
+    CHURN_PATTERNS,
+    STRATEGIES,
+    CampaignReport,
+    CaseOutcome,
+    CaseRecord,
+    build_grid,
+    build_schedule,
+    case_fails,
+    cross_check_engines,
+    run_campaign,
+    run_case,
+    summarize_report,
+)
+from repro.campaign.schedule import FAULT_KINDS, Fault, Schedule, WindowedBehavior
+from repro.campaign.shrink import ShrinkResult, describe_shrink, shrink_case
+from repro.campaign.spec import ERB_PAYLOAD, PROTOCOLS, CaseSpec, derive_seed
+
+__all__ = [
+    "CHURN_PATTERNS",
+    "CampaignReport",
+    "CaseOutcome",
+    "CaseRecord",
+    "CaseSpec",
+    "ERB_PAYLOAD",
+    "FAULT_KINDS",
+    "FailureArtifact",
+    "Fault",
+    "PROTOCOLS",
+    "ReplayOutcome",
+    "STRATEGIES",
+    "Schedule",
+    "ShrinkResult",
+    "Violation",
+    "WindowedBehavior",
+    "build_grid",
+    "build_schedule",
+    "case_fails",
+    "case_round_bound",
+    "check_run",
+    "check_unbiasedness",
+    "cross_check_engines",
+    "derive_seed",
+    "describe_shrink",
+    "make_artifact",
+    "read_artifact",
+    "replay_artifact",
+    "run_campaign",
+    "run_case",
+    "shrink_case",
+    "summarize_report",
+    "write_artifact",
+]

@@ -1,0 +1,179 @@
+"""Replayable failure artifacts: canonical JSON in, byte-identical out.
+
+When a campaign case fails and shrinks, the result is persisted as one
+JSON file holding the *minimal* spec, the original spec it shrank from,
+and the violations the minimal spec produces.  The serialization is
+canonical — ``sort_keys=True``, compact separators, trailing newline —
+so re-serialising a loaded artifact reproduces the original bytes
+exactly, and ``python -m repro replay <artifact>`` can assert three
+levels of fidelity:
+
+1. the spec still runs (the schedule compiles and the engine accepts it),
+2. the re-run produces the *same* violations the artifact recorded,
+3. re-serialising the re-checked artifact is byte-identical to the file.
+
+Level 3 is the strongest claim: it pins the schedule compiler, the
+engine, and the invariant checker all at once, which is what makes a
+checked-in artifact a meaningful regression test.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.campaign.invariants import Violation
+from repro.campaign.spec import CaseSpec
+from repro.common.errors import ConfigurationError
+
+#: Artifact format version; bump on incompatible schema changes.
+ARTIFACT_VERSION = 1
+
+
+def canonical_json(data: Dict[str, object]) -> str:
+    """The one true serialization: key-sorted, compact, newline-terminated."""
+    return json.dumps(data, sort_keys=True, separators=(",", ":")) + "\n"
+
+
+@dataclass
+class FailureArtifact:
+    """A minimal reproducer plus the context it was distilled from."""
+
+    spec: CaseSpec
+    violations: List[Violation] = field(default_factory=list)
+    original: Optional[CaseSpec] = None
+    shrink_runs: int = 0
+    version: int = ARTIFACT_VERSION
+
+    def to_dict(self) -> Dict[str, object]:
+        data: Dict[str, object] = {
+            "version": self.version,
+            "spec": self.spec.to_dict(),
+            "violations": [v.to_dict() for v in self.violations],
+            "shrink_runs": self.shrink_runs,
+        }
+        if self.original is not None:
+            data["original"] = self.original.to_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FailureArtifact":
+        version = int(data.get("version", 0))
+        if version != ARTIFACT_VERSION:
+            raise ConfigurationError(
+                f"unsupported artifact version {version} "
+                f"(this build reads version {ARTIFACT_VERSION})"
+            )
+        original = data.get("original")
+        return cls(
+            spec=CaseSpec.from_dict(data["spec"]),
+            violations=[
+                Violation.from_dict(v) for v in data.get("violations", [])
+            ],
+            original=CaseSpec.from_dict(original) if original else None,
+            shrink_runs=int(data.get("shrink_runs", 0)),
+            version=version,
+        )
+
+    def render(self) -> str:
+        return canonical_json(self.to_dict())
+
+
+def make_artifact(
+    spec: CaseSpec,
+    original: Optional[CaseSpec] = None,
+    shrink_runs: int = 0,
+) -> FailureArtifact:
+    """Build an artifact by re-running the minimal spec for its verdict."""
+    from repro.campaign.runner import run_case
+
+    outcome = run_case(spec)
+    return FailureArtifact(
+        spec=spec,
+        violations=list(outcome.violations),
+        original=original if original is not None and original != spec else None,
+        shrink_runs=shrink_runs,
+    )
+
+
+def artifact_name(spec: CaseSpec) -> str:
+    return (
+        f"repro-{spec.protocol}-n{spec.n}-t{spec.t}-"
+        f"seed{spec.seed:016x}.json"
+    )
+
+
+def write_artifact(artifact: FailureArtifact, directory: str) -> str:
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, artifact_name(artifact.spec))
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(artifact.render())
+    return path
+
+
+def read_artifact(path: str) -> FailureArtifact:
+    with open(path, "r", encoding="utf-8") as handle:
+        return FailureArtifact.from_dict(json.load(handle))
+
+
+@dataclass
+class ReplayOutcome:
+    """What ``python -m repro replay`` reports for one artifact."""
+
+    artifact: FailureArtifact
+    violations: List[Violation]
+    reproduced: bool
+    byte_identical: bool
+
+    def summary(self) -> str:
+        lines = [f"replaying {self.artifact.spec.label()}"]
+        if self.violations:
+            lines.append(f"violations ({len(self.violations)}):")
+            for violation in self.violations:
+                lines.append(f"  {violation.invariant}: {violation.detail}")
+        else:
+            lines.append("violations: none")
+        lines.append(
+            "recorded violations "
+            + ("reproduced exactly" if self.reproduced else "DID NOT reproduce")
+        )
+        lines.append(
+            "re-serialization "
+            + ("byte-identical" if self.byte_identical
+               else "DIFFERS from the artifact file")
+        )
+        return "\n".join(lines)
+
+    @property
+    def ok(self) -> bool:
+        return self.reproduced and self.byte_identical
+
+
+def replay_artifact(path: str) -> ReplayOutcome:
+    """Re-run an artifact's spec and compare against what it recorded."""
+    from repro.campaign.runner import run_case
+
+    with open(path, "r", encoding="utf-8") as handle:
+        raw = handle.read()
+    artifact = FailureArtifact.from_dict(json.loads(raw))
+
+    outcome = run_case(artifact.spec)
+    violations = list(outcome.violations)
+    reproduced = violations == artifact.violations
+
+    rebuilt = FailureArtifact(
+        spec=artifact.spec,
+        violations=violations,
+        original=artifact.original,
+        shrink_runs=artifact.shrink_runs,
+        version=artifact.version,
+    )
+    byte_identical = reproduced and rebuilt.render() == raw
+    return ReplayOutcome(
+        artifact=artifact,
+        violations=violations,
+        reproduced=reproduced,
+        byte_identical=byte_identical,
+    )

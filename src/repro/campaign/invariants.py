@@ -1,0 +1,235 @@
+"""Executable paper invariants, checked after every campaign run.
+
+Each check mirrors one claim of the paper (Section 4 / Theorem C.1 /
+Appendix D) and is written against the *schedule*, not the run: the
+schedule says which nodes were faulty, so "honest" below always means
+"no fault declared and not halted".  The checks are deliberately
+conservative — they only assert what the theorems guarantee for any
+``f <= t`` schedule, so a violation is a real counterexample (or an
+injected one), never grid noise:
+
+* **agreement** — all honest nodes output the same value (ERB agreement
+  / ERNG common output).
+* **validity** — ERB with an honest initiator delivers the initiator's
+  message to every honest node.
+* **integrity** — honest ERB outputs are the broadcast value or ⊥ (no
+  fabrication); ERNG outputs are integers of the configured width.
+* **termination** — within the engine's hard bound (``t+2`` rounds for
+  ERB/ERNG, ``γ+5`` for the optimized ERNG); a *successful* ERB
+  broadcast also meets the early-stopping bound ``min{f+2, t+2}``; a
+  fault-free schedule finishes in 2 rounds.
+* **sanitization** — halt-on-divergence (P4) ejects no honest node, and
+  every node the schedule statically starves below the ACK threshold
+  (see :meth:`Schedule.expected_sanitized`) is ejected.
+* **liveness** — the per-round probe trail is contiguous and the live
+  count never increases (a churned-out node stays out, Section 3.1/P6).
+* **unbiasedness smoke** (cross-run) — ERNG outputs over distinct seeds
+  of one grid cell are not all identical, and their pooled bits are not
+  grossly skewed (Theorem 5.1's uniformity, at smoke-test power).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import ERB_PAYLOAD, CaseSpec
+from repro.core.erng_optimized import ClusterConfig
+from repro.net.simulator import RunResult
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One broken invariant: which claim failed and a deterministic why."""
+
+    invariant: str
+    detail: str
+
+    def to_dict(self) -> Dict[str, str]:
+        return {"invariant": self.invariant, "detail": self.detail}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, str]) -> "Violation":
+        return cls(invariant=str(data["invariant"]), detail=str(data["detail"]))
+
+
+def case_round_bound(spec: CaseSpec) -> int:
+    """The hard termination bound the engine enforces for this spec."""
+    if spec.protocol == "erng-opt":
+        return ClusterConfig().resolved_gamma(spec.n) + 5
+    return spec.t + 2
+
+
+def _honest_outputs(spec: CaseSpec, result: RunResult) -> Dict[int, object]:
+    excluded = set(spec.schedule.faulty_nodes()) | set(result.halted)
+    return {
+        node: value
+        for node, value in result.outputs.items()
+        if node not in excluded
+    }
+
+
+def check_run(
+    spec: CaseSpec,
+    result: RunResult,
+    round_log: Optional[Sequence[Tuple[int, int]]] = None,
+) -> List[Violation]:
+    """All per-run invariants for one finished case, in a fixed order.
+
+    ``round_log`` is the ``(round, live_count)`` trail collected by the
+    engine's per-round hook (``config.extra["round_hook"]``); when
+    absent the liveness checks are skipped.
+    """
+    violations: List[Violation] = []
+    faulty = set(spec.schedule.faulty_nodes())
+    honest = _honest_outputs(spec, result)
+
+    # Every live node must have produced an output (⊥ counts).
+    live = [n for n in range(spec.n) if n not in set(result.halted)]
+    undecided = sorted(n for n in live if n not in result.outputs)
+    if undecided:
+        violations.append(Violation(
+            "termination", f"live nodes without output: {undecided}"
+        ))
+
+    # Agreement: one common value across all honest nodes.
+    distinct = {repr(v) for v in honest.values()}
+    if len(distinct) > 1:
+        violations.append(Violation(
+            "agreement",
+            "honest outputs diverge: " + ", ".join(sorted(distinct)),
+        ))
+
+    # Validity / integrity.
+    if spec.protocol == "erb":
+        if spec.initiator not in faulty:
+            wrong = sorted(
+                n for n, v in honest.items() if v != ERB_PAYLOAD
+            )
+            if wrong:
+                violations.append(Violation(
+                    "validity",
+                    f"honest initiator but nodes {wrong} did not output "
+                    f"the broadcast value",
+                ))
+        fabricated = sorted(
+            n for n, v in honest.items()
+            if v is not None and v != ERB_PAYLOAD
+        )
+        if fabricated:
+            violations.append(Violation(
+                "integrity",
+                f"nodes {fabricated} output a value nobody broadcast",
+            ))
+    else:
+        bad_type = sorted(
+            n for n, v in honest.items() if not isinstance(v, int)
+        )
+        if bad_type:
+            violations.append(Violation(
+                "integrity", f"non-integer RNG outputs at nodes {bad_type}"
+            ))
+
+    # Termination bounds.
+    bound = case_round_bound(spec)
+    rounds = result.rounds_executed
+    if rounds > bound:
+        violations.append(Violation(
+            "termination", f"{rounds} rounds exceed the hard bound {bound}"
+        ))
+    if spec.protocol == "erb" and honest and all(
+        v == ERB_PAYLOAD for v in honest.values()
+    ):
+        # The early-stopping bound governs when honest nodes *decide*;
+        # the engine itself may keep running to t+2 while a mute faulty
+        # node withholds its (⊥) output.
+        early = min(len(faulty) + 2, bound)
+        late = sorted(
+            node for node in honest
+            if (result.decided_rounds.get(node) or bound + 1) > early
+        )
+        if late:
+            violations.append(Violation(
+                "termination",
+                f"successful broadcast, but honest nodes {late} decided "
+                f"after the early-stopping bound min{{f+2, t+2}} = {early}",
+            ))
+    if not faulty and spec.protocol in ("erb", "erng") and rounds != 2:
+        violations.append(Violation(
+            "termination",
+            f"fault-free run took {rounds} rounds instead of 2",
+        ))
+
+    # Sanitization (P4 / Appendix D).
+    dishonest_halts = sorted(set(result.halted) - faulty)
+    if dishonest_halts:
+        violations.append(Violation(
+            "sanitization", f"honest nodes ejected: {dishonest_halts}"
+        ))
+    if spec.protocol in ("erb", "erng"):
+        expected = spec.schedule.expected_sanitized(spec.n, spec.t)
+        if spec.protocol == "erb":
+            # A non-initiator only multicasts (and can only be starved of
+            # ACKs) once the value reaches it; guaranteed when the
+            # initiator itself is fault-free.
+            if spec.initiator in faulty:
+                expected = tuple(
+                    node for node in expected if node == spec.initiator
+                )
+        missed = sorted(set(expected) - set(result.halted))
+        if missed:
+            violations.append(Violation(
+                "sanitization",
+                f"nodes {missed} starved the ACK threshold but were "
+                f"not ejected",
+            ))
+
+    # Liveness probe trail (from the engine round hook).
+    if round_log:
+        rounds_seen = [rnd for rnd, _live in round_log]
+        if rounds_seen != list(range(1, len(rounds_seen) + 1)):
+            violations.append(Violation(
+                "liveness", f"non-contiguous round trail: {rounds_seen}"
+            ))
+        lives = [live for _rnd, live in round_log]
+        if any(b > a for a, b in zip(lives, lives[1:])):
+            violations.append(Violation(
+                "liveness", f"live count increased mid-run: {lives}"
+            ))
+
+    return violations
+
+
+def check_unbiasedness(
+    samples: Sequence[Tuple[int, int]], random_bits: int = 128
+) -> List[Violation]:
+    """Cross-run ERNG smoke test over one grid cell's (seed, output) pairs.
+
+    Statistical power is deliberately tiny — the campaign only wants to
+    catch catastrophic failures (a constant output, a stuck-at bias),
+    not replace :mod:`repro.analysis.bias`.  Thresholds are ~10σ wide so
+    the check can never flake on an honest generator.
+    """
+    violations: List[Violation] = []
+    by_seed = {seed: value for seed, value in samples}
+    if len(by_seed) < 2:
+        return violations
+    values = list(by_seed.values())
+    if len(set(values)) == 1:
+        violations.append(Violation(
+            "unbiasedness",
+            f"{len(by_seed)} distinct seeds all produced {values[0]:#x}",
+        ))
+    total_bits = random_bits * len(values)
+    if total_bits >= 256:
+        ones = sum(bin(v & ((1 << random_bits) - 1)).count("1") for v in values)
+        fraction = ones / total_bits
+        sigma = 0.5 / math.sqrt(total_bits)
+        if abs(fraction - 0.5) > 10 * sigma:
+            violations.append(Violation(
+                "unbiasedness",
+                f"pooled ones-fraction {fraction:.3f} over {total_bits} "
+                f"bits is more than 10 sigma from 1/2",
+            ))
+    return violations

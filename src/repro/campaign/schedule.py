@@ -1,0 +1,309 @@
+"""Declarative fault schedules — the campaign's unit of adversity.
+
+A :class:`Schedule` is a serializable description of *who misbehaves,
+how, and when*: a tuple of :class:`Fault` records, each naming a node, a
+fault ``kind`` from :data:`FAULT_KINDS`, its parameters, and an optional
+round window (the campaign's churn patterns are windowed faults).
+``Schedule.compile`` lowers the description onto the existing behaviour
+classes of :mod:`repro.adversary` — :class:`SelectiveOmission` /
+:class:`RandomOmission` / :class:`ReceiveOmission` (general omission,
+attack A3), :class:`DelayAdversary` / :class:`ReplayAdversary` (ROD,
+attacks A4/A5), :class:`TamperAdversary` (byzantine, attack A2) — so a
+campaign run exercises exactly the adversary code paths the unit tests
+do, driven from data instead of hand-written setup.
+
+Schedules round-trip losslessly through :meth:`Schedule.to_dict` /
+:meth:`Schedule.from_dict`, which is what makes a failing campaign case
+replayable from its JSON artifact (see :mod:`repro.campaign.artifact`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.adversary.behaviors import CompositeBehavior, OSBehavior, Transmission
+from repro.adversary.byzantine import TamperAdversary
+from repro.adversary.omission import (
+    RandomOmission,
+    ReceiveOmission,
+    SelectiveOmission,
+)
+from repro.adversary.rod import DelayAdversary, ReplayAdversary
+from repro.channel.peer_channel import WireMessage
+from repro.common.config import AdversaryModel
+from repro.common.errors import ConfigurationError
+from repro.common.rng import DeterministicRNG
+from repro.common.types import NodeId
+
+#: Fault kinds and the Definition A.5 mode each one needs (the minimal
+#: adversary class that can express it).
+FAULT_KINDS: Dict[str, AdversaryModel] = {
+    "omit_send": AdversaryModel.GENERAL_OMISSION,    # SelectiveOmission
+    "omit_recv": AdversaryModel.GENERAL_OMISSION,    # SelectiveOmission
+    "mute_recv": AdversaryModel.GENERAL_OMISSION,    # ReceiveOmission
+    "random_omission": AdversaryModel.GENERAL_OMISSION,  # RandomOmission
+    "delay": AdversaryModel.ROD,                     # DelayAdversary
+    "replay": AdversaryModel.ROD,                    # ReplayAdversary
+    "tamper": AdversaryModel.BYZANTINE,              # TamperAdversary
+}
+
+#: Order of the hierarchy honest ⊂ general-omission ⊂ ROD ⊂ byzantine.
+_MODEL_RANK = {
+    AdversaryModel.HONEST: 0,
+    AdversaryModel.GENERAL_OMISSION: 1,
+    AdversaryModel.ROD: 2,
+    AdversaryModel.BYZANTINE: 3,
+}
+
+
+class WindowedBehavior(OSBehavior):
+    """Gate an inner behaviour to rounds ``[start, stop]`` (inclusive).
+
+    Outside the window the OS is honest — this is how a campaign
+    schedule expresses intermittent misbehaviour (the churn patterns of
+    Appendix D, where a byzantine node only sometimes acts).  ``stop=0``
+    means "no upper bound".
+    """
+
+    def __init__(self, inner: OSBehavior, start: int = 0, stop: int = 0) -> None:
+        self._inner = inner
+        self._start = start
+        self._stop = stop
+
+    def _active(self, rnd: int) -> bool:
+        if rnd < self._start:
+            return False
+        return self._stop == 0 or rnd <= self._stop
+
+    def filter_send(self, wire: WireMessage, rnd: int) -> "list[Transmission]":
+        if self._active(rnd):
+            return list(self._inner.filter_send(wire, rnd))
+        return [(0, wire)]
+
+    def filter_receive(self, wire: WireMessage, rnd: int) -> bool:
+        if self._active(rnd):
+            return self._inner.filter_receive(wire, rnd)
+        return True
+
+    def drain_injections(self, rnd: int) -> "list[Transmission]":
+        if self._active(rnd):
+            return list(self._inner.drain_injections(rnd))
+        return []
+
+    def on_round_end(self, rnd: int) -> None:
+        self._inner.on_round_end(rnd)
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One node's misbehaviour: kind, parameters, optional round window.
+
+    Attributes:
+        node: the faulty node's id.
+        kind: one of :data:`FAULT_KINDS`.
+        victims: counterparty ids for ``omit_send`` / ``omit_recv``.
+        p: drop probability for ``random_omission``.
+        delay: hold time in rounds for ``delay``.
+        burst: replays re-injected per round for ``replay``.
+        start: first round the fault is active (0 = from the start).
+        stop: last active round inclusive (0 = forever).
+    """
+
+    node: NodeId
+    kind: str
+    victims: Tuple[NodeId, ...] = ()
+    p: float = 0.0
+    delay: int = 1
+    burst: int = 16
+    start: int = 0
+    stop: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ConfigurationError(f"unknown fault kind {self.kind!r}")
+
+    @property
+    def model(self) -> AdversaryModel:
+        return FAULT_KINDS[self.kind]
+
+    @property
+    def windowed(self) -> bool:
+        return self.start > 0 or self.stop > 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "node": self.node,
+            "kind": self.kind,
+            "victims": list(self.victims),
+            "p": self.p,
+            "delay": self.delay,
+            "burst": self.burst,
+            "start": self.start,
+            "stop": self.stop,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Fault":
+        return cls(
+            node=int(data["node"]),
+            kind=str(data["kind"]),
+            victims=tuple(int(v) for v in data.get("victims", ())),
+            p=float(data.get("p", 0.0)),
+            delay=int(data.get("delay", 1)),
+            burst=int(data.get("burst", 16)),
+            start=int(data.get("start", 0)),
+            stop=int(data.get("stop", 0)),
+        )
+
+    def build(self, rng: DeterministicRNG) -> OSBehavior:
+        """Instantiate the adversary behaviour this fault describes."""
+        if self.kind == "omit_send":
+            inner: OSBehavior = SelectiveOmission(self.victims, omit_sends=True)
+        elif self.kind == "omit_recv":
+            inner = SelectiveOmission(
+                self.victims, omit_sends=False, omit_receives=True
+            )
+        elif self.kind == "mute_recv":
+            inner = ReceiveOmission()
+        elif self.kind == "random_omission":
+            inner = RandomOmission(
+                rng.fork(("fault", self.node, self.kind)),
+                send_drop_p=self.p,
+                recv_drop_p=self.p,
+            )
+        elif self.kind == "delay":
+            inner = DelayAdversary(delay_rounds=self.delay)
+        elif self.kind == "replay":
+            inner = ReplayAdversary(replay_after_rounds=self.delay, burst=self.burst)
+        else:  # tamper
+            inner = TamperAdversary()
+        if self.windowed:
+            return WindowedBehavior(inner, start=self.start, stop=self.stop)
+        return inner
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An immutable, serializable set of faults for one campaign case."""
+
+    faults: Tuple[Fault, ...] = field(default_factory=tuple)
+
+    @property
+    def model(self) -> AdversaryModel:
+        """The weakest Definition A.5 mode that covers every fault."""
+        best = AdversaryModel.HONEST
+        for fault in self.faults:
+            if _MODEL_RANK[fault.model] > _MODEL_RANK[best]:
+                best = fault.model
+        return best
+
+    def faulty_nodes(self) -> Tuple[NodeId, ...]:
+        return tuple(sorted({fault.node for fault in self.faults}))
+
+    def compile(self, seed: object) -> Dict[NodeId, OSBehavior]:
+        """Lower the schedule to per-node OS behaviours for the engine.
+
+        Faults sharing a node chain through :class:`CompositeBehavior`
+        in declaration order.  ``seed`` keys the coin streams of any
+        probabilistic faults, so compiling the same schedule with the
+        same seed reproduces the same run bit-for-bit.
+        """
+        rng = DeterministicRNG(("campaign-schedule", seed))
+        per_node: Dict[NodeId, List[OSBehavior]] = {}
+        for fault in self.faults:
+            per_node.setdefault(fault.node, []).append(fault.build(rng))
+        return {
+            node: stages[0] if len(stages) == 1 else CompositeBehavior(stages)
+            for node, stages in per_node.items()
+        }
+
+    def validate(self, n: int, t: int) -> None:
+        """Reject schedules outside the model: bad ids or > t faulty nodes."""
+        for fault in self.faults:
+            if not 0 <= fault.node < n:
+                raise ConfigurationError(
+                    f"fault on node {fault.node} outside network of size {n}"
+                )
+            for victim in fault.victims:
+                if not 0 <= victim < n:
+                    raise ConfigurationError(
+                        f"victim {victim} outside network of size {n}"
+                    )
+        if len(self.faulty_nodes()) > t:
+            raise ConfigurationError(
+                f"{len(self.faulty_nodes())} faulty nodes exceed the bound t={t}"
+            )
+
+    def expected_sanitized(self, n: int, ack_threshold: int) -> Tuple[NodeId, ...]:
+        """Nodes halt-on-divergence (P4) is *guaranteed* to eject.
+
+        Conservative static analysis: an un-windowed ``omit_send`` whose
+        victim set starves the sender below the ACK threshold, or an
+        un-windowed ``tamper`` (every send rejected at the channel),
+        cannot collect ``ack_threshold`` ACKs for any multicast — so if
+        the node multicasts at all, its enclave halts.  Windowed and
+        probabilistic faults might dodge the check, so they are never
+        *expected* to be sanitized (they still may be).
+        """
+        if ack_threshold <= 0 or n - 1 < ack_threshold:
+            return ()
+        expected = set()
+        for fault in self.faults:
+            if fault.windowed:
+                continue
+            if fault.kind == "tamper":
+                expected.add(fault.node)
+            elif fault.kind == "omit_send":
+                reachable = n - 1 - len(set(fault.victims) - {fault.node})
+                if reachable < ack_threshold:
+                    expected.add(fault.node)
+        return tuple(sorted(expected))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"faults": [fault.to_dict() for fault in self.faults]}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "Schedule":
+        return cls(
+            faults=tuple(Fault.from_dict(f) for f in data.get("faults", ()))
+        )
+
+    # ------------------------------------------------------------------
+    # shrinking support: structurally simpler variants of this schedule
+    # ------------------------------------------------------------------
+    def without_fault(self, index: int) -> "Schedule":
+        return Schedule(
+            faults=self.faults[:index] + self.faults[index + 1:]
+        )
+
+    def with_fault(self, index: int, fault: Fault) -> "Schedule":
+        return Schedule(
+            faults=self.faults[:index] + (fault,) + self.faults[index + 1:]
+        )
+
+    def clamped(self, n: int) -> Optional["Schedule"]:
+        """The schedule restricted to a smaller network, if representable.
+
+        Faulty nodes must still exist; victim lists drop out-of-range
+        entries (fewer victims is a *weaker* fault, which is exactly what
+        a shrink step wants).
+        """
+        faults = []
+        for fault in self.faults:
+            if fault.node >= n:
+                return None
+            victims = tuple(v for v in fault.victims if v < n)
+            if victims != fault.victims:
+                fault = Fault(
+                    node=fault.node,
+                    kind=fault.kind,
+                    victims=victims,
+                    p=fault.p,
+                    delay=fault.delay,
+                    burst=fault.burst,
+                    start=fault.start,
+                    stop=fault.stop,
+                )
+            faults.append(fault)
+        return Schedule(faults=tuple(faults))

@@ -1,0 +1,199 @@
+"""Greedy shrinking of a failing case to a minimal reproducer.
+
+Given a :class:`CaseSpec` that violates an invariant and an oracle
+``fails(spec) -> bool``, :func:`shrink_case` searches for a smaller spec
+that *still* fails, in the spirit of property-testing shrinkers
+(Hypothesis/QuickCheck) but specialised to the campaign's structure.
+Passes, applied to a fixpoint, in order of expected payoff:
+
+1. **drop faults** — remove whole schedule entries one at a time;
+2. **drop victims** — thin a fault's victim list one node at a time;
+3. **unwindow faults** — replace churn windows with always-on faults
+   (``start=0, stop=0``), the simpler-to-read form;
+4. **clear inject fields** — drop the test-only injection hook if the
+   spec fails without it (a real failure does);
+5. **shrink the network** — lower ``n`` (re-clamping the schedule) and
+   then ``t`` toward the smallest network that still reproduces.
+
+Every pass is deterministic (fixed iteration order, first improvement
+wins) so the same failing spec always shrinks to the same minimal spec —
+the regression test in ``tests/test_campaign_replay.py`` pins that.  The
+oracle budget (:data:`MAX_ORACLE_RUNS`) caps the work on pathological
+schedules; the search simply stops improving when it is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, List, Optional
+
+from repro.campaign.spec import CaseSpec
+
+#: Upper bound on oracle invocations per shrink (each is one engine run).
+MAX_ORACLE_RUNS = 200
+
+#: Smallest network the shrinker will try (below this the protocols are
+#: degenerate and reproducers stop being informative).
+MIN_N = 2
+
+
+@dataclass
+class ShrinkResult:
+    """The minimal failing spec plus how much work finding it took."""
+
+    spec: CaseSpec
+    runs: int
+    improved: bool
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.runs = 0
+
+    def spent(self) -> bool:
+        return self.runs >= self.limit
+
+
+def _check(
+    spec: CaseSpec, fails: Callable[[CaseSpec], bool], budget: _Budget
+) -> bool:
+    if budget.spent():
+        return False
+    budget.runs += 1
+    return fails(spec)
+
+
+def _drop_faults(
+    spec: CaseSpec, fails: Callable[[CaseSpec], bool], budget: _Budget
+) -> Optional[CaseSpec]:
+    for index in range(len(spec.schedule.faults)):
+        candidate = spec.with_schedule(spec.schedule.without_fault(index))
+        if _check(candidate, fails, budget):
+            return candidate
+    return None
+
+
+def _drop_victims(
+    spec: CaseSpec, fails: Callable[[CaseSpec], bool], budget: _Budget
+) -> Optional[CaseSpec]:
+    for index, fault in enumerate(spec.schedule.faults):
+        for victim in fault.victims:
+            thinner = replace(
+                fault, victims=tuple(v for v in fault.victims if v != victim)
+            )
+            if not thinner.victims and fault.kind in ("omit_send", "omit_recv"):
+                continue  # empty victim list would turn the fault off
+            candidate = spec.with_schedule(
+                spec.schedule.with_fault(index, thinner)
+            )
+            if _check(candidate, fails, budget):
+                return candidate
+    return None
+
+
+def _unwindow(
+    spec: CaseSpec, fails: Callable[[CaseSpec], bool], budget: _Budget
+) -> Optional[CaseSpec]:
+    for index, fault in enumerate(spec.schedule.faults):
+        if fault.start == 0 and fault.stop == 0:
+            continue
+        candidate = spec.with_schedule(
+            spec.schedule.with_fault(index, replace(fault, start=0, stop=0))
+        )
+        if _check(candidate, fails, budget):
+            return candidate
+    return None
+
+
+def _drop_inject(
+    spec: CaseSpec, fails: Callable[[CaseSpec], bool], budget: _Budget
+) -> Optional[CaseSpec]:
+    if spec.inject is None:
+        return None
+    candidate = replace(spec, inject=None)
+    if _check(candidate, fails, budget):
+        return candidate
+    return None
+
+
+def _shrink_network(
+    spec: CaseSpec, fails: Callable[[CaseSpec], bool], budget: _Budget
+) -> Optional[CaseSpec]:
+    if spec.n > MIN_N:
+        smaller_n = spec.n - 1
+        schedule = spec.schedule.clamped(smaller_n)
+        if schedule is not None:
+            t = min(spec.t, max(0, (smaller_n - 1) // 2))
+            initiator = min(spec.initiator, smaller_n - 1)
+            inject = spec.inject
+            if inject and int(inject.get("node", 0)) >= smaller_n:
+                inject = None
+            candidate = replace(
+                spec, n=smaller_n, t=t, initiator=initiator,
+                schedule=schedule, inject=inject,
+            )
+            if _check(candidate, fails, budget):
+                return candidate
+    if spec.t > len(spec.schedule.faulty_nodes()) and spec.t > 0:
+        candidate = replace(spec, t=spec.t - 1)
+        if _check(candidate, fails, budget):
+            return candidate
+    return None
+
+
+_PASSES = (
+    _drop_faults,
+    _drop_victims,
+    _unwindow,
+    _drop_inject,
+    _shrink_network,
+)
+
+
+def shrink_case(
+    spec: CaseSpec,
+    fails: Callable[[CaseSpec], bool],
+    max_runs: int = MAX_ORACLE_RUNS,
+) -> ShrinkResult:
+    """Greedily minimise ``spec`` while ``fails`` keeps returning True.
+
+    ``fails`` must be deterministic (the campaign oracle re-runs the
+    engine from the spec seed, so it is).  If the original spec does not
+    fail under the oracle — a flaky or environment-dependent report —
+    it is returned unshrunk with ``improved=False``.
+    """
+    budget = _Budget(max_runs)
+    if not _check(spec, fails, budget):
+        return ShrinkResult(spec=spec, runs=budget.runs, improved=False)
+
+    current = spec
+    improved = False
+    progress = True
+    while progress and not budget.spent():
+        progress = False
+        for shrink_pass in _PASSES:
+            candidate = shrink_pass(current, fails, budget)
+            if candidate is not None:
+                current = candidate
+                improved = True
+                progress = True
+                break  # restart from the highest-payoff pass
+    return ShrinkResult(spec=current, runs=budget.runs, improved=improved)
+
+
+def describe_shrink(original: CaseSpec, minimal: CaseSpec) -> List[str]:
+    """Human-readable delta between the original and minimal spec."""
+    notes = []
+    if minimal.n != original.n:
+        notes.append(f"n: {original.n} -> {minimal.n}")
+    if minimal.t != original.t:
+        notes.append(f"t: {original.t} -> {minimal.t}")
+    dropped = len(original.schedule.faults) - len(minimal.schedule.faults)
+    if dropped:
+        notes.append(f"faults dropped: {dropped}")
+    if original.inject and not minimal.inject:
+        notes.append("inject hook removed")
+    if not notes:
+        notes.append("already minimal")
+    return notes

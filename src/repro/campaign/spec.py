@@ -1,0 +1,111 @@
+"""The campaign's unit of execution: one fully-specified protocol run.
+
+A :class:`CaseSpec` pins everything a run depends on — protocol, network
+size, fault bound, channel fidelity, master seed, fault schedule, worker
+count — so that executing the same spec twice produces bit-identical
+results (the engine is deterministic given its config, and the schedule
+compiles its coin streams off the spec seed).  Specs round-trip through
+``to_dict``/``from_dict``; the canonical JSON form is what failure
+artifacts store and ``python -m repro replay`` re-executes.
+
+``inject`` is a **test-only violation hook**: it corrupts the run result
+*after* the engine finishes, before the invariant checks, so the
+campaign's catch → shrink → replay pipeline can be exercised end-to-end
+without weakening any real protocol guarantee.  Production campaigns
+leave it ``None``; a spec that carries one is labelled as injected in
+its artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.common.errors import ConfigurationError
+from repro.campaign.schedule import Schedule
+
+#: Protocols a campaign can drive (see repro.campaign.runner.run_case).
+PROTOCOLS = ("erb", "erng", "erng-opt")
+
+#: The fixed payload ERB cases broadcast (validity is checked against it).
+ERB_PAYLOAD = b"campaign-payload"
+
+
+def derive_seed(master: int, *labels: object) -> int:
+    """A per-case seed: deterministic, well-mixed function of the cell."""
+    material = repr((master,) + labels).encode("utf-8")
+    return int.from_bytes(
+        hashlib.sha256(b"campaign-seed:" + material).digest()[:8], "big"
+    )
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One campaign case, replayable from its dict form."""
+
+    protocol: str
+    n: int
+    t: int
+    seed: int
+    schedule: Schedule = field(default_factory=Schedule)
+    strategy: str = "custom"
+    channel: str = "modeled"
+    workers: int = 1
+    initiator: int = 0
+    inject: Optional[Dict[str, object]] = None
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+
+    @property
+    def adversarial(self) -> bool:
+        return bool(self.schedule.faults)
+
+    def validate(self) -> None:
+        self.schedule.validate(self.n, self.t)
+        if self.protocol == "erb" and not 0 <= self.initiator < self.n:
+            raise ConfigurationError(
+                f"initiator {self.initiator} outside network of size {self.n}"
+            )
+
+    def with_schedule(self, schedule: Schedule) -> "CaseSpec":
+        return replace(self, schedule=schedule)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "protocol": self.protocol,
+            "n": self.n,
+            "t": self.t,
+            "seed": self.seed,
+            "schedule": self.schedule.to_dict(),
+            "strategy": self.strategy,
+            "channel": self.channel,
+            "workers": self.workers,
+            "initiator": self.initiator,
+            "inject": self.inject,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CaseSpec":
+        inject = data.get("inject")
+        return cls(
+            protocol=str(data["protocol"]),
+            n=int(data["n"]),
+            t=int(data["t"]),
+            seed=int(data["seed"]),
+            schedule=Schedule.from_dict(data.get("schedule", {})),
+            strategy=str(data.get("strategy", "custom")),
+            channel=str(data.get("channel", "modeled")),
+            workers=int(data.get("workers", 1)),
+            initiator=int(data.get("initiator", 0)),
+            inject=dict(inject) if inject else None,
+        )
+
+    def label(self) -> str:
+        """Compact human-readable cell label for logs and progress events."""
+        return (
+            f"{self.protocol} n={self.n} t={self.t} "
+            f"strategy={self.strategy} seed={self.seed}"
+        )

@@ -11,6 +11,8 @@ Examples::
     python -m repro agreement --n 9 --inputs A,A,B,A,B,A,A,B,A
     python -m repro beacon --n 9 --epochs 4
     python -m repro churn --n 17 --byzantine 1,3,5 --p 0.4 --instances 20
+    python -m repro campaign --protocols erb,erng --sizes 5,8 --seeds 3
+    python -m repro replay artifacts/repro-erb-n3-t0-seed....json
 """
 
 from __future__ import annotations
@@ -197,6 +199,88 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import build_grid, run_campaign, summarize_report
+    from repro.campaign.runner import CHURN_PATTERNS, STRATEGIES
+    from repro.campaign.spec import PROTOCOLS
+
+    protocols = args.protocols.split(",")
+    unknown = sorted(set(protocols) - set(PROTOCOLS))
+    if unknown:
+        print(f"error: unknown protocol(s) {unknown}", file=sys.stderr)
+        return 2
+    strategies = args.strategies.split(",")
+    unknown = sorted(set(strategies) - set(STRATEGIES))
+    if unknown:
+        print(
+            f"error: unknown strategy(s) {unknown}; "
+            f"known: {', '.join(sorted(STRATEGIES))}",
+            file=sys.stderr,
+        )
+        return 2
+    churns = args.churn.split(",")
+    unknown = sorted(set(churns) - set(CHURN_PATTERNS))
+    if unknown:
+        print(
+            f"error: unknown churn pattern(s) {unknown}; "
+            f"known: {', '.join(sorted(CHURN_PATTERNS))}",
+            file=sys.stderr,
+        )
+        return 2
+
+    inject = None
+    if args.inject is not None:
+        # Test-only violation hook (see repro.campaign.spec): corrupt the
+        # named node's output after every run so the catch → shrink →
+        # replay pipeline can be demonstrated end-to-end.
+        inject = {
+            "kind": "corrupt_output",
+            "node": args.inject,
+            "value": "injected-violation",
+        }
+
+    specs = build_grid(
+        protocols=protocols,
+        sizes=[int(x) for x in args.sizes.split(",")],
+        strategies=strategies,
+        churns=churns,
+        seeds=list(range(args.seeds)),
+        master_seed=args.seed,
+        channel=args.channel,
+        inject=inject,
+    )
+    tracer = _tracer_for(args)
+    report = run_campaign(
+        specs,
+        tracer=tracer if tracer is not None else Tracer(),
+        shrink_failures=not args.no_shrink,
+        artifact_dir=args.out,
+        cross_check=args.cross_check,
+    )
+    _finish_trace(tracer, args)
+    print(summarize_report(report))
+    return 0 if report.passed else 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.campaign import replay_artifact
+    from repro.common.errors import ConfigurationError
+
+    try:
+        outcome = replay_artifact(args.artifact)
+    except OSError as exc:
+        print(f"error: cannot read artifact: {exc}", file=sys.stderr)
+        return 2
+    except (ValueError, KeyError, TypeError, ConfigurationError) as exc:
+        print(
+            f"error: {args.artifact} is not a campaign artifact: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    print(outcome.summary())
+    return 0 if outcome.ok else 1
+
+
 def _cmd_inspect(args: argparse.Namespace) -> int:
     try:
         events = read_trace(args.trace)
@@ -301,6 +385,78 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_inspect.add_argument("trace", help="path to a trace.jsonl file")
     p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="seeded fault-injection sweep checking the paper invariants",
+        description=(
+            "Sweep a (protocol, N, adversary strategy, churn pattern, seed) "
+            "grid; after every run check agreement, validity, integrity, "
+            "the termination bounds, sanitization and liveness, plus a "
+            "cross-seed ERNG unbiasedness smoke test.  Failing cases are "
+            "shrunk to a minimal reproducer and written to --out as "
+            "replayable JSON (see `python -m repro replay`).  The adversary "
+            "model behind the strategies is documented in docs/ADVERSARIES.md."
+        ),
+    )
+    p_camp.add_argument(
+        "--protocols", default="erb,erng,erng-opt",
+        help="comma-separated subset of erb,erng,erng-opt",
+    )
+    p_camp.add_argument(
+        "--sizes", default="5,8", metavar="N,N,...",
+        help="comma-separated network sizes",
+    )
+    p_camp.add_argument(
+        "--strategies", default="honest,omission,random,mute,rod,byzantine",
+        help="comma-separated adversary strategies",
+    )
+    p_camp.add_argument(
+        "--churn", default="none,intermittent,late",
+        help="comma-separated fault activity windows",
+    )
+    p_camp.add_argument(
+        "--seeds", type=int, default=2, metavar="K",
+        help="seeds per grid cell (K distinct derived seeds)",
+    )
+    p_camp.add_argument("--seed", type=int, default=0, help="master seed")
+    p_camp.add_argument(
+        "--channel", choices=["full", "modeled", "none"], default="modeled"
+    )
+    p_camp.add_argument(
+        "--out", default=None, metavar="DIR",
+        help="directory for minimal-reproducer artifacts",
+    )
+    p_camp.add_argument(
+        "--no-shrink", action="store_true",
+        help="report failures without shrinking them",
+    )
+    p_camp.add_argument(
+        "--cross-check", action="store_true",
+        help="re-run every case with --workers 2 and require byte-identical "
+        "results (exercises the parallel engine and its serial fallback)",
+    )
+    p_camp.add_argument(
+        "--inject", type=int, default=None, metavar="NODE",
+        help="TEST ONLY: corrupt NODE's output after every run to "
+        "demonstrate the catch/shrink/replay pipeline",
+    )
+    p_camp.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write per-case campaign events as JSONL (the sweep summary)",
+    )
+    p_camp.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: per-case progress; -vv: engine detail",
+    )
+    p_camp.set_defaults(func=_cmd_campaign)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="re-run a campaign failure artifact and verify it reproduces",
+    )
+    p_replay.add_argument("artifact", help="path to a reproducer .json file")
+    p_replay.set_defaults(func=_cmd_replay)
 
     return parser
 

@@ -5,6 +5,13 @@ features (F1-F4) it builds on, the attacks (A1-A5) it defeats, and the
 modules that implement it.  Tests assert the registry stays in sync with
 the codebase (the named modules exist and export the named symbols), so
 the mapping in the paper's Section 3 remains auditable here.
+
+The fault-injection campaign (:mod:`repro.campaign.invariants`) is the
+dynamic complement of this static registry: it checks, after every swept
+run, that the *consequences* the paper derives from P1-P6 actually hold
+(agreement and validity from Section 4, the ``min{f+2, t+2}`` bound of
+Theorem C.1, P4-driven sanitization per Appendix D).  The prose tour of
+both layers is ``docs/ADVERSARIES.md``.
 """
 
 from __future__ import annotations

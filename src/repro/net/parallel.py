@@ -697,6 +697,11 @@ class _Coordinator:
                 rnd, round_bytes, seconds, omissions, rejections,
                 live, decided, halted_now, len(self.pool.executors),
             )
+        if net._round_hook is not None:
+            # Halts and liveness are mirrored into the coordinator, so the
+            # per-round observation hook sees the same network view the
+            # serial engine's _phase_end would hand it.
+            net._round_hook(net, rnd, halted_now)
         deliver_staged.sort(key=lambda kv: kv[0])
         end_staged.sort(key=lambda kv: kv[0])
         self.pending = [record for _key, record in deliver_staged]

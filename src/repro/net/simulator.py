@@ -412,6 +412,13 @@ class SynchronousNetwork:
         self._envelope_accounting = (
             not envelope_disabled and not self._envelope_fast_path
         )
+        # Per-round observation hook: ``extra["round_hook"]`` is called as
+        # ``hook(network, rnd, halted_now)`` at the very end of phase 6 on
+        # every engine path (per-wire, envelope, and the parallel
+        # coordinator).  The campaign runner uses it to collect liveness
+        # trails for invariant checking; the hook must treat the network
+        # as read-only.
+        self._round_hook = config.extra.get("round_hook")
 
     @property
     def action_trace(self) -> Optional[ActionTrace]:
@@ -898,6 +905,8 @@ class SynchronousNetwork:
                 rnd, round_bytes, seconds, omissions, rejections,
                 live, decided, halted_now,
             )
+        if self._round_hook is not None:
+            self._round_hook(self, rnd, halted_now)
 
     def _record_physical_links(
         self, wires: List[WireMessage], rnd: Round, wave: str

@@ -22,6 +22,7 @@ Typical use::
 
 from repro.obs.events import (
     ROUND_PHASES,
+    CampaignEvent,
     ChurnEvent,
     DecisionEvent,
     EnvelopeEvent,
@@ -51,6 +52,7 @@ from repro.obs.metrics import (
 from repro.obs.tracer import NULL_TRACER, MemorySink, NullSink, Tracer
 
 __all__ = [
+    "CampaignEvent",
     "ChurnEvent",
     "Counter",
     "DecisionEvent",

@@ -23,7 +23,10 @@ The event kinds mirror the paper's evaluation vocabulary:
 * :class:`ProtocolEvent` — protocol-specific milestones (ERB quorum,
   cluster election in the optimized ERNG, FINAL sets, ...);
 * :class:`ChurnEvent` — one instance of the Appendix D churn process
-  (ejections, live byzantine count, agreement).
+  (ejections, live byzantine count, agreement);
+* :class:`CampaignEvent` — one finished fault-injection campaign case
+  (:mod:`repro.campaign`): the grid cell, its verdict, and the path of
+  the shrunk reproducer artifact if it failed.
 """
 
 from __future__ import annotations
@@ -168,6 +171,31 @@ class ChurnEvent:
     rnd: int = 0
 
 
+@dataclass
+class CampaignEvent:
+    """One finished case of a fault-injection campaign sweep.
+
+    ``violations`` lists the names of the broken invariants (empty means
+    the case passed); ``artifact`` is the path of the minimal-reproducer
+    JSON when the failure was shrunk and persisted.  A campaign run with
+    a :class:`~repro.obs.export.JsonlSink` attached therefore doubles as
+    the machine-readable sweep summary.
+    """
+
+    kind: ClassVar[str] = "campaign"
+    index: int
+    protocol: str
+    n: int
+    t: int
+    strategy: str
+    seed: int
+    rounds: int
+    halted: List[int] = field(default_factory=list)
+    violations: List[str] = field(default_factory=list)
+    artifact: str = ""
+    rnd: int = 0
+
+
 #: All event classes, keyed by their ``kind`` tag (used by the exporter).
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -180,6 +208,7 @@ EVENT_TYPES: Dict[str, type] = {
         DecisionEvent,
         ProtocolEvent,
         ChurnEvent,
+        CampaignEvent,
     )
 }
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 from typing import Iterable, List, Optional
 
 from repro.obs.events import (
+    CampaignEvent,
     ChurnEvent,
     DecisionEvent,
     EnvelopeEvent,
@@ -226,6 +227,35 @@ class Tracer:
                     rounds=rounds,
                     agreement_held=agreement_held,
                     ejected=list(ejected),
+                )
+            )
+
+    def campaign_case(
+        self,
+        index: int,
+        protocol: str,
+        n: int,
+        t: int,
+        strategy: str,
+        seed: int,
+        rounds: int,
+        halted: Iterable[int] = (),
+        violations: Iterable[str] = (),
+        artifact: str = "",
+    ) -> None:
+        if self.enabled:
+            self.emit(
+                CampaignEvent(
+                    index=index,
+                    protocol=protocol,
+                    n=n,
+                    t=t,
+                    strategy=strategy,
+                    seed=seed,
+                    rounds=rounds,
+                    halted=list(halted),
+                    violations=list(violations),
+                    artifact=artifact,
                 )
             )
 

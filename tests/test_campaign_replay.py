@@ -1,0 +1,77 @@
+"""Regression: the checked-in minimal failing-schedule artifact.
+
+``tests/data/repro-erb-*.json`` was produced by the campaign pipeline
+from a fixed master seed: an ``omission+intermittent`` ERB case at
+``n=6, t=2`` with the test-only ``corrupt_output`` injection, caught by
+the invariant checker and shrunk to the minimal ``n=3, t=0`` spec with
+an empty schedule.  These tests pin all three layers at once:
+
+* the shrinker still reduces the *original* spec to the *same* minimal
+  spec, deterministically, from the fixed seed;
+* replaying the artifact reproduces the recorded violations and
+  re-serialises byte-identically (so the schedule compiler, engine and
+  invariant checker have not drifted);
+* the artifact's bytes on disk are themselves canonical.
+
+If an intentional engine/format change breaks these, regenerate the
+artifact with the snippet in this file's history (build_grid with
+``master_seed=5`` + shrink + ``write_artifact('tests/data')``) and bump
+``ARTIFACT_VERSION`` if the schema changed.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+
+from repro.campaign import (
+    CaseSpec,
+    case_fails,
+    read_artifact,
+    replay_artifact,
+    shrink_case,
+)
+from repro.campaign.artifact import canonical_json
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+
+
+def _artifact_path() -> str:
+    paths = sorted(glob.glob(os.path.join(DATA_DIR, "repro-erb-*.json")))
+    assert len(paths) == 1, paths
+    return paths[0]
+
+
+class TestCheckedInArtifact:
+    def test_file_is_canonical_json(self):
+        raw = open(_artifact_path(), encoding="utf-8").read()
+        assert canonical_json(json.loads(raw)) == raw
+
+    def test_replay_reproduces_and_is_byte_identical(self):
+        outcome = replay_artifact(_artifact_path())
+        assert outcome.reproduced
+        assert outcome.byte_identical
+        assert [v.invariant for v in outcome.violations] == [
+            "agreement", "validity", "integrity",
+        ]
+
+    def test_shrinker_reproduces_the_minimal_schedule(self):
+        artifact = read_artifact(_artifact_path())
+        assert artifact.original is not None
+        shrunk = shrink_case(artifact.original, case_fails)
+        assert shrunk.improved
+        assert shrunk.spec == artifact.spec
+        assert shrunk.runs == artifact.shrink_runs
+
+    def test_minimal_spec_shape(self):
+        spec = read_artifact(_artifact_path()).spec
+        assert spec == CaseSpec(
+            protocol="erb",
+            n=3,
+            t=0,
+            seed=spec.seed,
+            strategy="omission+intermittent",
+            inject={"kind": "corrupt_output", "node": 2, "value": "evil"},
+        )
+        assert spec.schedule.faults == ()

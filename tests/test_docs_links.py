@@ -1,0 +1,36 @@
+"""Documentation hygiene: every relative link in the markdown docs
+resolves, and the documentation index covers all of docs/."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs_links.py")
+
+
+def test_no_broken_relative_links():
+    proc = subprocess.run(
+        [sys.executable, CHECKER], capture_output=True, text=True
+    )
+    assert proc.returncode == 0, proc.stderr
+
+
+def test_readme_indexes_every_doc():
+    readme = open(os.path.join(REPO_ROOT, "README.md"), encoding="utf-8").read()
+    docs = sorted(
+        name for name in os.listdir(os.path.join(REPO_ROOT, "docs"))
+        if name.endswith(".md")
+    )
+    assert docs, "docs/ directory is empty?"
+    missing = [name for name in docs if f"docs/{name}" not in readme]
+    assert not missing, f"README documentation index is missing: {missing}"
+
+
+def test_protocols_links_adversaries():
+    protocols = open(
+        os.path.join(REPO_ROOT, "docs", "PROTOCOLS.md"), encoding="utf-8"
+    ).read()
+    assert "ADVERSARIES.md" in protocols

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Fail on broken relative links in the repository's markdown docs.
+
+Scans README.md, the top-level ``*.md`` files and everything under
+``docs/`` for markdown links (``[text](target)``) and bare
+backtick-quoted file references of the form ```docs/NAME.md```, and
+checks that every *relative* target exists in the working tree.
+External links (``http://``, ``https://``, ``mailto:``) and pure
+anchors (``#section``) are skipped; an in-file anchor suffix
+(``FILE.md#section``) is checked against the headings of the target
+file.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link).  Run from anywhere::
+
+    python tools/check_docs_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target) — excluding images' alt text
+#: being relevant (images are checked the same way).
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Backticked doc references like `docs/ADVERSARIES.md` in prose.
+_BACKTICK_RE = re.compile(r"`((?:docs/)?[A-Za-z0-9_\-]+\.md)`")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files() -> List[Path]:
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [f for f in files if f.is_file()]
+
+
+def _anchors(path: Path) -> set:
+    """GitHub-style anchor slugs for every heading in a markdown file."""
+    slugs = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if not line.startswith("#"):
+            continue
+        title = line.lstrip("#").strip()
+        slug = re.sub(r"[^\w\s\-]", "", title.lower())
+        slug = re.sub(r"\s+", "-", slug.strip())
+        slugs.add(slug)
+    return slugs
+
+
+def iter_links(path: Path) -> Iterable[Tuple[int, str]]:
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _LINK_RE.finditer(line):
+            yield lineno, match.group(1)
+        for match in _BACKTICK_RE.finditer(line):
+            yield lineno, match.group(1)
+
+
+def check_file(path: Path) -> List[str]:
+    problems = []
+    for lineno, target in iter_links(path):
+        if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+            continue
+        base, _, anchor = target.partition("#")
+        resolved = (path.parent / base).resolve()
+        rel = path.relative_to(REPO_ROOT)
+        if not resolved.exists():
+            problems.append(f"{rel}:{lineno}: broken link -> {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor.lower() not in _anchors(resolved):
+                problems.append(
+                    f"{rel}:{lineno}: missing anchor -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    problems: List[str] = []
+    files = doc_files()
+    for path in files:
+        problems.extend(check_file(path))
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        print(f"{len(problems)} broken doc link(s)", file=sys.stderr)
+        return 1
+    print(f"docs link check: {len(files)} file(s), all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,10 +19,10 @@ import contextlib
 import json
 import math
 import os
-import subprocess
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
+from repro.obs.machine import git_revision, machine_stamp  # noqa: F401 (re-export)
 from repro.obs.metrics import PROFILER, MetricsRegistry
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -46,39 +46,6 @@ WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
 def pick(smoke, default, full):
     """Choose a sweep by scale."""
     return {"smoke": smoke, "default": default, "full": full}[SCALE]
-
-
-def git_revision() -> Optional[str]:
-    """The repo's short git rev, or None outside a checkout."""
-    try:
-        out = subprocess.run(
-            ["git", "rev-parse", "--short", "HEAD"],
-            cwd=Path(__file__).parent,
-            capture_output=True,
-            text=True,
-            timeout=10,
-        )
-    except (OSError, subprocess.TimeoutExpired):
-        return None
-    rev = out.stdout.strip()
-    return rev if out.returncode == 0 and rev else None
-
-
-def machine_stamp(workers: Optional[int] = None) -> Dict:
-    """Provenance fields for persisted benchmark history entries.
-
-    Timestamp-only entries from different machines are incomparable;
-    stamping the git rev, CPU count and worker count makes a
-    ``BENCH_*.json`` history line reproducible evidence rather than an
-    anecdote.
-    """
-    stamp: Dict = {
-        "git_rev": git_revision(),
-        "cpu_count": os.cpu_count(),
-    }
-    if workers is not None:
-        stamp["workers"] = workers
-    return stamp
 
 
 @contextlib.contextmanager

@@ -6,6 +6,9 @@ Examples::
     python -m repro erb --n 32 --chain 6          # Fig. 2c worst case
     python -m repro erb --n 16 --trace-out /tmp/t.jsonl
     python -m repro inspect /tmp/t.jsonl          # per-round timeline
+    python -m repro erb --n 64 --timing-out /tmp/timing.json
+    python -m repro report /tmp/timing.json --html /tmp/report.html
+    python -m repro report BENCH_engine.json      # throughput trend + gate
     python -m repro erng --n 16
     python -m repro erng-opt --n 120 --gamma 7
     python -m repro agreement --n 9 --inputs A,A,B,A,B,A,A,B,A
@@ -18,6 +21,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
 import logging
 import sys
 from typing import List, Optional
@@ -34,6 +38,10 @@ from repro.apps.beacon import RandomBeacon
 from repro.core.agreement import run_byzantine_agreement
 from repro.core.churn import ChurnDriver
 from repro.obs import JsonlSink, Tracer, read_trace, render_timeline
+from repro.obs.events import MetaEvent
+from repro.obs.machine import machine_stamp
+from repro.obs.metrics import PROFILER
+from repro.obs.timing import TimingCollector
 
 
 def _configure_logging(verbosity: int) -> None:
@@ -55,20 +63,76 @@ def _configure_logging(verbosity: int) -> None:
 
 
 def _tracer_for(args: argparse.Namespace) -> Optional[Tracer]:
-    """Build a JSONL-backed tracer when ``--trace-out`` was given."""
+    """Build a JSONL-backed tracer when ``--trace-out`` was given.
+
+    The first record of every trace is a :class:`MetaEvent` carrying the
+    machine stamp, so later timing comparisons across trace files stay
+    provenance-aware.
+    """
     path = getattr(args, "trace_out", None)
     if not path:
         return None
     try:
-        return Tracer(JsonlSink(path))
+        tracer = Tracer(JsonlSink(path))
     except OSError as exc:
         raise SystemExit(f"error: cannot write trace to {path}: {exc}")
+    tracer.emit(
+        MetaEvent(machine=machine_stamp(workers=getattr(args, "workers", None)))
+    )
+    return tracer
 
 
 def _finish_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
     if tracer is not None:
         tracer.close()
         print(f"trace written to {args.trace_out}", file=sys.stderr)
+
+
+def _finish_obs(config: SimulationConfig, args: argparse.Namespace, result) -> None:
+    """Write the ``--timing-out`` / ``--metrics-out`` sidecars.
+
+    Both sidecars carry the machine stamp (git rev, cpu_count, workers):
+    performance numbers without provenance are anecdotes (see
+    :mod:`repro.obs.bench`).
+    """
+    stamp = machine_stamp(workers=getattr(args, "workers", None))
+    timing_out = getattr(args, "timing_out", None)
+    if timing_out and config.timing is not None:
+        payload = config.timing.as_dict()
+        payload["machine"] = stamp
+        if result is not None:
+            payload["traffic"] = {"summary": result.traffic.summary()}
+        try:
+            with open(timing_out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write timing to {timing_out}: {exc}",
+                  file=sys.stderr)
+        else:
+            coverage = config.timing.coverage()
+            print(
+                f"timing written to {timing_out} "
+                f"({coverage:.1%} of wall attributed; render with "
+                f"`python -m repro report {timing_out}`)",
+                file=sys.stderr,
+            )
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out and PROFILER.enabled and PROFILER.registry is not None:
+        registry = PROFILER.registry
+        if result is not None:
+            result.stats.publish(registry)
+        payload = {"machine": stamp, "metrics": registry.as_dict()}
+        try:
+            with open(metrics_out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write metrics to {metrics_out}: {exc}",
+                  file=sys.stderr)
+        else:
+            print(f"metrics written to {metrics_out}", file=sys.stderr)
+        PROFILER.disable()
 
 
 def _print_result(result, label: str) -> None:
@@ -90,6 +154,10 @@ def _config_for(args: argparse.Namespace, **overrides) -> SimulationConfig:
         tracer=_tracer_for(args),
         workers=getattr(args, "workers", 1),
     )
+    if getattr(args, "timing_out", None):
+        params["timing"] = TimingCollector()
+    if getattr(args, "metrics_out", None):
+        PROFILER.enable()
     params.update(overrides)
     return SimulationConfig(**params)
 
@@ -112,6 +180,7 @@ def _cmd_erb(args: argparse.Namespace) -> int:
         behaviors=behaviors,
     )
     _finish_trace(tracer, args)
+    _finish_obs(config, args, result)
     _print_result(result, f"ERB broadcast over N={args.n}")
     return 0
 
@@ -121,6 +190,7 @@ def _cmd_erng(args: argparse.Namespace) -> int:
     tracer = config.tracer
     result = run_erng(config)
     _finish_trace(tracer, args)
+    _finish_obs(config, args, result)
     _print_result(result, f"unoptimized ERNG over N={args.n}")
     return 0
 
@@ -135,6 +205,7 @@ def _cmd_erng_opt(args: argparse.Namespace) -> int:
     )
     result = run_optimized_erng(config, cluster=cluster)
     _finish_trace(tracer, args)
+    _finish_obs(config, args, result)
     _print_result(result, f"optimized ERNG over N={args.n} ({args.mode})")
     return 0
 
@@ -154,15 +225,26 @@ def _cmd_agreement(args: argparse.Namespace) -> int:
         config, {i: value for i, value in enumerate(inputs_list)}
     )
     _finish_trace(tracer, args)
+    _finish_obs(config, args, result)
     _print_result(result, f"byzantine agreement over N={args.n}")
     return 0
 
 
 def _cmd_beacon(args: argparse.Namespace) -> int:
-    if getattr(args, "trace_out", None):
+    ignored = [
+        flag
+        for flag, attr in (
+            ("--trace-out", "trace_out"),
+            ("--timing-out", "timing_out"),
+            ("--metrics-out", "metrics_out"),
+        )
+        if getattr(args, attr, None)
+    ]
+    if ignored:
         # The beacon builds a fresh SimulationConfig per epoch internally.
         print(
-            "note: --trace-out is not supported for the beacon; ignoring",
+            f"note: {', '.join(ignored)} not supported for the beacon; "
+            "ignoring",
             file=sys.stderr,
         )
     beacon = RandomBeacon(n=args.n, t=args.t, seed=args.seed)
@@ -185,6 +267,7 @@ def _cmd_churn(args: argparse.Namespace) -> int:
     )
     report = driver.run(args.instances)
     _finish_trace(tracer, args)
+    _finish_obs(config, args, None)
     print(f"live byzantine per instance: {report.live_byzantine}")
     print(f"ejection order:              {report.ejected_order}")
     print(
@@ -294,6 +377,34 @@ def _cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import render_report
+
+    try:
+        text = render_report(
+            args.path,
+            html_out=args.html,
+            flame_out=args.flame,
+            threshold=args.threshold,
+        )
+    except OSError as exc:
+        print(f"error: cannot read {args.path}: {exc}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(text)
+    if args.html:
+        print(f"HTML report written to {args.html}", file=sys.stderr)
+    if args.flame:
+        print(
+            f"collapsed stacks written to {args.flame} "
+            "(open with speedscope or flamegraph.pl)",
+            file=sys.stderr,
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -325,6 +436,17 @@ def build_parser() -> argparse.ArgumentParser:
             "--trace-out", default=None, metavar="PATH",
             help="write a JSONL trace of the run (inspect with "
             "`python -m repro inspect PATH`)",
+        )
+        p.add_argument(
+            "--timing-out", default=None, metavar="PATH",
+            help="attribute per-round wall clock to engine phases and "
+            "write the breakdown as JSON (render with "
+            "`python -m repro report PATH`)",
+        )
+        p.add_argument(
+            "--metrics-out", default=None, metavar="PATH",
+            help="enable the channel/engine profiler and write its "
+            "counters and histograms as JSON",
         )
         p.add_argument(
             "-v", "--verbose", action="count", default=0,
@@ -385,6 +507,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_inspect.add_argument("trace", help="path to a trace.jsonl file")
     p_inspect.set_defaults(func=_cmd_inspect)
+
+    p_report = sub.add_parser(
+        "report",
+        help="render a --timing-out sidecar, timed trace, or BENCH_*.json "
+        "history as a performance report",
+    )
+    p_report.add_argument(
+        "path",
+        help="a --timing-out JSON sidecar, a --trace-out JSONL file from "
+        "a timed run, or a BENCH_*.json benchmark history",
+    )
+    p_report.add_argument(
+        "--html", default=None, metavar="OUT",
+        help="also write a self-contained HTML report",
+    )
+    p_report.add_argument(
+        "--flame", default=None, metavar="OUT",
+        help="also export collapsed stacks (speedscope / flamegraph "
+        "input; timing inputs only)",
+    )
+    p_report.add_argument(
+        "--threshold", type=float, default=0.15,
+        help="bench-history regression threshold (default: %(default)s)",
+    )
+    p_report.set_defaults(func=_cmd_report)
 
     p_camp = sub.add_parser(
         "campaign",

@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.common.errors import ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.timing import TimingCollector
     from repro.obs.tracer import Tracer
 
 
@@ -86,6 +87,11 @@ class SimulationConfig:
         tracer: optional :class:`repro.obs.tracer.Tracer` the engine and
             protocols emit structured events into.  ``None`` (the
             default) runs untraced at zero overhead.
+        timing: optional :class:`repro.obs.timing.TimingCollector` the
+            engine attributes per-round wall clock into (phase buckets,
+            per-shard busy/idle on the parallel path).  ``None`` (the
+            default) runs untimed at zero overhead, like the tracer.
+            Purely observational: results never depend on it.
         workers: number of OS processes the round engine may shard node
             execution across.  ``1`` (the default) runs everything in
             process; values above 1 enable the sharded parallel path for
@@ -106,6 +112,7 @@ class SimulationConfig:
     extra: dict = field(default_factory=dict)
     tracer: Optional["Tracer"] = None
     workers: int = 1
+    timing: Optional["TimingCollector"] = None
 
     def __post_init__(self) -> None:
         if self.n < 1:

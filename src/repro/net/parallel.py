@@ -55,6 +55,7 @@ import multiprocessing
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import CHANNEL_OVERHEAD_BYTES
@@ -68,6 +69,7 @@ from repro.net.simulator import (
 )
 from repro.net.stats import RoundRecord
 from repro.obs.events import RoundSpan, WireEvent
+from repro.obs.metrics import PROFILER, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sgx.enclave import EnclaveState
 
@@ -84,7 +86,8 @@ _STATE: Optional["_WorkerState"] = None
 
 
 class _WorkerState:
-    __slots__ = ("net", "shard", "nshards", "owned", "events", "traced")
+    __slots__ = ("net", "shard", "nshards", "owned", "events", "traced",
+                 "timed")
 
     net: SynchronousNetwork
     shard: int
@@ -92,6 +95,7 @@ class _WorkerState:
     owned: List[int]
     events: Optional[List[object]]
     traced: bool
+    timed: bool
 
 
 # A packed send intent, as shipped from workers to the coordinator:
@@ -105,15 +109,27 @@ _PackedIntent = Tuple[int, Optional[Tuple[int, ...]], ProtocolMessage, int,
 
 
 def _pack_intent(
-    intent: _SendIntent, rnd: int, net: SynchronousNetwork
+    intent: _SendIntent, rnd: int, net: SynchronousNetwork,
+    tmb: Optional[dict] = None,
 ) -> _PackedIntent:
     """Stamp, size and digest one staged intent (the per-sender work the
     serial transmit phase does inline, here parallelized into the worker
-    that ran the emitting hook)."""
+    that ran the emitting hook).  ``tmb`` is a timing-bucket dict the
+    digest / sizing costs accrue into when the run is timed."""
     message = intent.message.with_round(rnd)
-    digest = net._ack_digest(_multicast_key(message))
-    targets: Optional[Tuple[int, ...]] = intent.targets
-    size = net.transport.message_size(message) if targets else 0
+    if tmb is None:
+        digest = net._ack_digest(_multicast_key(message))
+        targets: Optional[Tuple[int, ...]] = intent.targets
+        size = net.transport.message_size(message) if targets else 0
+    else:
+        t0 = perf_counter()
+        digest = net._ack_digest(_multicast_key(message))
+        t1 = perf_counter()
+        targets = intent.targets
+        size = net.transport.message_size(message) if targets else 0
+        t2 = perf_counter()
+        tmb["digest"] = tmb.get("digest", 0.0) + (t1 - t0)
+        tmb["serialize"] = tmb.get("serialize", 0.0) + (t2 - t1)
     if targets and targets is net._neighbour_cache.get(intent.sender):
         targets = None
     return (
@@ -142,6 +158,17 @@ def _worker_init(shard: int, nshards: int) -> int:
     st.nshards = nshards
     st.owned = [i for i in range(net.config.n) if i % nshards == shard]
     st.traced = net.tracer.enabled
+    # The worker replica's hooks are timed from the barrier handlers, not
+    # by the engine; buckets ship back per barrier as plain dicts.
+    st.timed = net._timing is not None
+    net._timing = None
+    if PROFILER.enabled:
+        # The fork copied the coordinator's profiling registry wholesale;
+        # keeping it would re-ship the parent's pre-fork observations.  A
+        # fresh registry makes the dump shipped at _worker_finish hold
+        # exactly this shard's post-fork counts, so coordinator + worker
+        # registries add to what a serial run would have observed.
+        PROFILER.registry = MetricsRegistry()
     if st.traced:
         # Replace the inherited tracer (whose sinks may hold duplicated
         # file handles) with a memory sink; events ship back per barrier.
@@ -171,9 +198,18 @@ def _check_no_stray_acks(net: SynchronousNetwork, hook: str) -> None:
 
 
 def _worker_begin(rnd: int):
-    """Barrier 1: on_round_begin for owned live nodes, in node order."""
+    """Barrier 1: on_round_begin for owned live nodes, in node order.
+
+    The trailing element of every barrier handler's return is the shard's
+    timing payload — ``(busy_seconds, buckets)`` when the run is timed,
+    else ``None`` — so tuple shapes stay stable either way.
+    """
     st = _STATE
     net = st.net
+    timed = st.timed
+    t_start = perf_counter() if timed else 0.0
+    tmb: Optional[dict] = {} if timed else None
+    handler_s = 0.0
     net.current_round = rnd
     outbox = net._outbox_now
     events = st.events
@@ -187,12 +223,18 @@ def _worker_begin(rnd: int):
             continue
         obase = len(outbox)
         ebase = len(events) if events is not None else 0
-        node.program.on_round_begin(node.context)
+        if timed:
+            t0 = perf_counter()
+            node.program.on_round_begin(node.context)
+            handler_s += perf_counter() - t0
+        else:
+            node.program.on_round_begin(node.context)
         if node.enclave.halted:
             halted.append(node_id)
         for idx in range(obase, len(outbox)):
             staged.append(
-                ((node_id, idx - obase), _pack_intent(outbox[idx], rnd, net))
+                ((node_id, idx - obase),
+                 _pack_intent(outbox[idx], rnd, net, tmb))
             )
         if events is not None and len(events) > ebase:
             batches.append((node_id, events[ebase:]))
@@ -201,7 +243,11 @@ def _worker_begin(rnd: int):
     if events is not None:
         events.clear()
     _check_no_stray_acks(net, "on_round_begin")
-    return halted, staged, batches
+    timing = None
+    if timed:
+        tmb["handler"] = tmb.get("handler", 0.0) + handler_s
+        timing = (perf_counter() - t_start, tmb)
+    return halted, staged, batches, timing
 
 
 def _worker_deliver(blob: bytes):
@@ -214,6 +260,10 @@ def _worker_deliver(blob: bytes):
     """
     st = _STATE
     net = st.net
+    timed = st.timed
+    t_start = perf_counter() if timed else 0.0
+    tmb: Optional[dict] = {} if timed else None
+    handler_s = 0.0
     rnd, packed = pickle.loads(blob)
     digest_by_id = net._ack_digest_by_id
     digest_by_id.clear()
@@ -249,7 +299,12 @@ def _worker_deliver(blob: bytes):
             abase = len(ackq)
             obase = len(outbox)
             ebase = len(events) if traced else 0
-            node.program.on_message(node.context, sender, message)
+            if timed:
+                t0 = perf_counter()
+                node.program.on_message(node.context, sender, message)
+                handler_s += perf_counter() - t0
+            else:
+                node.program.on_message(node.context, sender, message)
             if enclave.state is halted_state:
                 halted.append(receiver)
             if traced and len(ackq) > abase:
@@ -258,7 +313,7 @@ def _worker_deliver(blob: bytes):
             for idx in range(obase, len(outbox)):
                 staged.append(
                     ((i, j, idx - obase),
-                     _pack_intent(outbox[idx], next_rnd, net))
+                     _pack_intent(outbox[idx], next_rnd, net, tmb))
                 )
             if traced and len(events) > ebase:
                 batches.append(((i, j), events[ebase:]))
@@ -281,9 +336,13 @@ def _worker_deliver(blob: bytes):
     outbox.clear()
     if traced:
         events.clear()
+    timing = None
+    if timed:
+        tmb["handler"] = tmb.get("handler", 0.0) + handler_s
+        timing = (perf_counter() - t_start, tmb)
     return (
         halted, omitted, link_counts, credits, total, raw_acks, staged,
-        batches,
+        batches, timing,
     )
 
 
@@ -292,6 +351,10 @@ def _worker_end(rnd: int, halted_now: List[int], seconds: float):
     shard's clock replica, and report decided / all-done state."""
     st = _STATE
     net = st.net
+    timed = st.timed
+    t_start = perf_counter() if timed else 0.0
+    tmb: Optional[dict] = {} if timed else None
+    handler_s = 0.0
     for node_id in halted_now:
         enclave = net.nodes[node_id].enclave
         if not enclave.halted:
@@ -310,13 +373,18 @@ def _worker_end(rnd: int, halted_now: List[int], seconds: float):
             continue
         obase = len(outbox)
         ebase = len(events) if traced else 0
-        node.program.on_round_end(node.context)
+        if timed:
+            t0 = perf_counter()
+            node.program.on_round_end(node.context)
+            handler_s += perf_counter() - t0
+        else:
+            node.program.on_round_end(node.context)
         if node.enclave.halted:
             halted.append(node_id)
         for idx in range(obase, len(outbox)):
             staged.append(
                 ((node_id, idx - obase),
-                 _pack_intent(outbox[idx], next_rnd, net))
+                 _pack_intent(outbox[idx], next_rnd, net, tmb))
             )
         if traced and len(events) > ebase:
             batches.append((node_id, events[ebase:]))
@@ -333,7 +401,11 @@ def _worker_end(rnd: int, halted_now: List[int], seconds: float):
             decided += 1
         elif node.alive:
             all_done = False
-    return halted, staged, batches, decided, all_done
+    timing = None
+    if timed:
+        tmb["handler"] = tmb.get("handler", 0.0) + handler_s
+        timing = (perf_counter() - t_start, tmb)
+    return halted, staged, batches, decided, all_done, timing
 
 
 def _worker_finish():
@@ -346,6 +418,9 @@ def _worker_finish():
     """
     st = _STATE
     net = st.net
+    timed = st.timed
+    t_start = perf_counter() if timed else 0.0
+    handler_s = 0.0
     events = st.events
     traced = st.traced
     batches: List[tuple] = []
@@ -354,7 +429,12 @@ def _worker_finish():
         if not node.alive:
             continue
         ebase = len(events) if traced else 0
-        node.program.on_protocol_end(node.context)
+        if timed:
+            t0 = perf_counter()
+            node.program.on_protocol_end(node.context)
+            handler_s += perf_counter() - t0
+        else:
+            node.program.on_protocol_end(node.context)
         if traced and len(events) > ebase:
             batches.append((node_id, events[ebase:]))
     final = []
@@ -371,7 +451,16 @@ def _worker_finish():
             program.decided_round,
             node.enclave.rdrand,
         ))
-    return batches, final
+    # Ship this shard's post-fork profiling observations home: the fork
+    # orphans the worker's PROFILER registry, so without this the crypto /
+    # serialization histograms a parallel run populates in the workers
+    # would silently vanish from the coordinator's report.
+    profile = None
+    if PROFILER.enabled and PROFILER.registry is not None:
+        profile = PROFILER.registry.dump()
+    timing = (perf_counter() - t_start, {"handler": handler_s}) \
+        if timed else None
+    return batches, final, profile, timing
 
 
 # ----------------------------------------------------------------------
@@ -432,13 +521,18 @@ class _Coordinator:
         self.net = network
         self.pool = pool
         self.traced = network.tracer.enabled
+        self.tm = network._timing
         # Setup ran in the main process before the fork, so the round-1
         # emissions are staged here, not in any worker.
         intents = network._outbox_next
         network._outbox_next = []
+        tmb: Optional[dict] = {} if self.tm is not None else None
         self.pending: List[_PackedIntent] = [
-            _pack_intent(intent, 1, network) for intent in intents
+            _pack_intent(intent, 1, network, tmb) for intent in intents
         ]
+        if tmb:
+            for bucket, seconds in tmb.items():
+                self.tm.add(bucket, seconds)
 
     # -- helpers -------------------------------------------------------
 
@@ -474,6 +568,16 @@ class _Coordinator:
         traffic = net.stats.traffic
         tracer = net.tracer
         traced = self.traced
+        tm = self.tm
+        nshards = len(self.pool.executors)
+        if tm is not None:
+            tm.start_round(rnd)
+            # Coordinator buckets cover the coordinator's own wall only;
+            # the workers' in-barrier breakdowns accumulate here and
+            # attach per shard (busy + idle) when the round closes.
+            shard_busy = [0.0] * nshards
+            shard_buckets: List[dict] = [{} for _ in range(nshards)]
+            barrier_wall = 0.0
         omissions_before = traffic.omissions
         rejections_before = traffic.rejections
         net._pending_handles.clear()
@@ -489,14 +593,30 @@ class _Coordinator:
             tracer.phase(rnd, "begin", count=len(outbox))
         begin_events: List[tuple] = []
         begin_staged: List[tuple] = []
-        for halted, staged, batches in self.pool.broadcast(_worker_begin, rnd):
+        t0 = perf_counter() if tm is not None else 0.0
+        responses = self.pool.broadcast(_worker_begin, rnd)
+        if tm is not None:
+            wall = perf_counter() - t0
+            tm.add("barrier", wall)
+            barrier_wall += wall
+            t0 = perf_counter()
+        for shard, (halted, staged, batches, w_timing) in \
+                enumerate(responses):
             self._apply_halts(halted, rnd)
             begin_staged.extend(staged)
             begin_events.extend(batches)
+            if w_timing is not None:
+                busy, buckets = w_timing
+                shard_busy[shard] += busy
+                sb = shard_buckets[shard]
+                for bucket, seconds in buckets.items():
+                    sb[bucket] = sb.get(bucket, 0.0) + seconds
         if traced:
             self._emit_batches(begin_events)
         begin_staged.sort(key=lambda kv: kv[0])
         outbox.extend(record for _key, record in begin_staged)
+        if tm is not None:
+            tm.add("merge", perf_counter() - t0)
 
         # Phase 2: transmit.  All accounting happens here on the
         # coordinator's ledger, replaying the serial transmit loop over
@@ -504,6 +624,7 @@ class _Coordinator:
         # workers (or in _pack_intent for round-1 setup intents).
         if traced:
             tracer.phase(rnd, "transmit", count=len(outbox))
+        t0 = perf_counter() if tm is not None else 0.0
         handles = net._pending_handles
         plan: List[tuple] = []
         per_sender: Dict[int, List[tuple]] = {}
@@ -583,15 +704,20 @@ class _Coordinator:
                     traffic.record_envelope(count, env_size)
                     if traced:
                         tracer.envelope(rnd, sender, receiver, count, env_size)
+        if tm is not None:
+            tm.add("merge", perf_counter() - t0)
 
         # Phase 3: deliver.  One broadcast of the (packed) plan; the
         # workers dispatch, the coordinator accounts.
         if traced:
             tracer.phase(rnd, "deliver", count=logical_count)
+        t0 = perf_counter() if tm is not None else 0.0
         blob = pickle.dumps(
             (rnd, [(s, raw, m, d) for s, raw, _res, m, _sz, d in plan]),
             pickle.HIGHEST_PROTOCOL,
         )
+        if tm is not None:
+            tm.add("serialize", perf_counter() - t0)
         deliver_staged: List[tuple] = []
         omitted: List[tuple] = []
         raw_acks: List[tuple] = []
@@ -599,12 +725,25 @@ class _Coordinator:
         credits: Dict[tuple, int] = {}
         ack_total = 0
         deliver_events: Dict[tuple, list] = {}
-        for response in self.pool.broadcast(_worker_deliver, blob):
+        t0 = perf_counter() if tm is not None else 0.0
+        responses = self.pool.broadcast(_worker_deliver, blob)
+        if tm is not None:
+            wall = perf_counter() - t0
+            tm.add("barrier", wall)
+            barrier_wall += wall
+            t0 = perf_counter()
+        for shard, response in enumerate(responses):
             (halted, w_omitted, w_links, w_credits, w_total, w_raw,
-             staged, batches) = response
+             staged, batches, w_timing) = response
             self._apply_halts(halted, rnd)
             omitted.extend(w_omitted)
             deliver_staged.extend(staged)
+            if w_timing is not None:
+                busy, buckets = w_timing
+                shard_busy[shard] += busy
+                sb = shard_buckets[shard]
+                for bucket, seconds in buckets.items():
+                    sb[bucket] = sb.get(bucket, 0.0) + seconds
             if traced:
                 raw_acks.extend(w_raw)
                 for key, events in batches:
@@ -639,8 +778,11 @@ class _Coordinator:
                             action="omit_dead",
                             mtype=mtype,
                         ))
+        if tm is not None:
+            tm.add("merge", perf_counter() - t0)
 
         # Phase 4: ack wave.
+        t0 = perf_counter() if tm is not None else 0.0
         if traced:
             raw_acks.sort(key=lambda kv: kv[0])
             queue = [ack for _key, ack in raw_acks]
@@ -649,6 +791,8 @@ class _Coordinator:
                 net._ack_wave_envelope(queue, rnd)
         elif ack_total or credits:
             self._ack_wave_aggregated(link_counts, credits, ack_total, rnd)
+        if tm is not None:
+            tm.add("ack_wave", perf_counter() - t0)
 
         # Phases 5 and 6.
         halted_now = net._phase_halt_check(rnd)
@@ -664,15 +808,30 @@ class _Coordinator:
         end_events: List[tuple] = []
         decided = 0
         all_done = True
-        for halted, staged, batches, w_decided, w_done in \
-                self.pool.broadcast(_worker_end, rnd, halted_now, seconds):
+        t0 = perf_counter() if tm is not None else 0.0
+        responses = self.pool.broadcast(_worker_end, rnd, halted_now, seconds)
+        if tm is not None:
+            wall = perf_counter() - t0
+            tm.add("barrier", wall)
+            barrier_wall += wall
+            t0 = perf_counter()
+        for shard, (halted, staged, batches, w_decided, w_done, w_timing) in \
+                enumerate(responses):
             self._apply_halts(halted, rnd)
             end_staged.extend(staged)
             end_events.extend(batches)
             decided += w_decided
             all_done = all_done and w_done
+            if w_timing is not None:
+                busy, buckets = w_timing
+                shard_busy[shard] += busy
+                sb = shard_buckets[shard]
+                for bucket, seconds_ in buckets.items():
+                    sb[bucket] = sb.get(bucket, 0.0) + seconds_
         if traced:
             self._emit_batches(end_events)
+        if tm is not None:
+            tm.add("merge", perf_counter() - t0)
         net.clock.advance(seconds)
         net.stats.rounds.append(
             RoundRecord(rnd=rnd, bytes=round_bytes, seconds=seconds)
@@ -702,10 +861,20 @@ class _Coordinator:
             # per-round observation hook sees the same network view the
             # serial engine's _phase_end would hand it.
             net._round_hook(net, rnd, halted_now)
+        t0 = perf_counter() if tm is not None else 0.0
         deliver_staged.sort(key=lambda kv: kv[0])
         end_staged.sort(key=lambda kv: kv[0])
         self.pending = [record for _key, record in deliver_staged]
         self.pending.extend(record for _key, record in end_staged)
+        if tm is not None:
+            tm.add("merge", perf_counter() - t0)
+            for shard in range(nshards):
+                busy = shard_busy[shard]
+                tm.record_shard(
+                    shard, busy, max(0.0, barrier_wall - busy),
+                    shard_buckets[shard],
+                )
+            net._finish_round_timing(tm, rnd)
         return all_done
 
     def _ack_wave_aggregated(
@@ -748,12 +917,22 @@ class _Coordinator:
 
     def _finish(self) -> RunResult:
         net = self.net
+        tm = self.tm
         batches: List[tuple] = []
         final: Dict[int, tuple] = {}
-        for w_batches, w_final in self.pool.broadcast(_worker_finish):
+        t0 = perf_counter() if tm is not None else 0.0
+        responses = self.pool.broadcast(_worker_finish)
+        if tm is not None:
+            # No round is open any more, so this lands at run level: the
+            # finish barrier is engine overhead, like the fork itself.
+            tm.add("barrier", perf_counter() - t0)
+        for w_batches, w_final, w_profile, _w_timing in responses:
             batches.extend(w_batches)
             for record in w_final:
                 final[record[0]] = record
+            if w_profile is not None and PROFILER.enabled \
+                    and PROFILER.registry is not None:
+                PROFILER.registry.merge_dump(w_profile)
         if self.traced:
             self._emit_batches(batches)
         outputs: Dict[int, object] = {}
@@ -795,12 +974,24 @@ def run_parallel(
     if "fork" not in multiprocessing.get_all_start_methods():
         return None  # pragma: no cover - POSIX containers always fork
     nshards = min(network.config.workers, network.config.n)
+    tm = network._timing
+    t0 = perf_counter() if tm is not None else 0.0
     try:
         pool = _ShardPool(network, nshards)
     except (OSError, BrokenProcessPool) as exc:  # pragma: no cover
         _LOG.warning("parallel engine unavailable (%s); running serial", exc)
         return None
+    if tm is not None:
+        # Forking P replicas is the dominant fixed cost of a parallel
+        # run; charge it to the run-level barrier bucket so short runs
+        # still account for their measured wall.
+        tm.add("barrier", perf_counter() - t0)
     try:
         return _Coordinator(network, pool).run(max_rounds)
     finally:
+        # Joining the workers is the tail half of the engine's fixed
+        # cost; like the fork it lands in the run-level barrier bucket.
+        t0 = perf_counter() if tm is not None else 0.0
         pool.shutdown()
+        if tm is not None:
+            tm.add("barrier", perf_counter() - t0)

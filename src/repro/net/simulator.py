@@ -49,6 +49,7 @@ from __future__ import annotations
 import logging
 from collections import Counter, OrderedDict, deque
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.adversary.behaviors import OSBehavior
@@ -73,7 +74,7 @@ from repro.crypto.dh import MODP_768, MODP_2048
 from repro.crypto.hashing import hash_bytes
 from repro.net.stats import RoundRecord, RunStats, TrafficStats
 from repro.net.topology import Topology
-from repro.obs.events import RoundSpan, WireEvent
+from repro.obs.events import RoundSpan, TimingEvent, WireEvent
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.net.transport import (
     FullTransport,
@@ -369,6 +370,11 @@ class SynchronousNetwork:
                 else NULL_TRACER
             )
         self.tracer: Tracer = tracer
+        # Phase-attributed wall-clock collector (repro.obs.timing).  Same
+        # zero-cost-when-off contract as the tracer: the engine caches
+        # this in a local and checks `is not None` per instrumentation
+        # point; None (the default) adds a handful of predicted branches.
+        self._timing = config.timing
         # The fan-out fast path applies when a run can never diverge from
         # the per-wire path: no OS behaviours anywhere (no drops, delays,
         # injections or future wires), tracer disabled (no per-wire
@@ -587,24 +593,39 @@ class SynchronousNetwork:
         """
         if max_rounds < 1:
             raise ConfigurationError("max_rounds must be >= 1")
-        self._setup()
-        if self._parallel_eligible():
-            from repro.net.parallel import run_parallel
+        tm = self._timing
+        if tm is not None:
+            tm.start_run()
+        try:
+            self._setup()
+            if self._parallel_eligible():
+                t0 = perf_counter() if tm is not None else 0.0
+                from repro.net.parallel import run_parallel
 
-            result = run_parallel(self, max_rounds)
-            if result is not None:
-                return result
-        envelope = self._envelope_fast_path
-        for rnd in range(1, max_rounds + 1):
-            self.current_round = rnd
-            if envelope:
-                self._run_round_envelope(rnd)
-            else:
-                self._run_round(rnd)
-            if self._everyone_done():
-                break
-        self._finish()
-        return self._result()
+                if tm is not None:
+                    # First use pays the module import; make the timed
+                    # wall account for it instead of leaking coverage.
+                    tm.add("other", perf_counter() - t0)
+                    tm.set_engine("parallel")
+                result = run_parallel(self, max_rounds)
+                if result is not None:
+                    return result
+            envelope = self._envelope_fast_path
+            if tm is not None:
+                tm.set_engine("envelope" if envelope else "serial")
+            for rnd in range(1, max_rounds + 1):
+                self.current_round = rnd
+                if envelope:
+                    self._run_round_envelope(rnd)
+                else:
+                    self._run_round(rnd)
+                if self._everyone_done():
+                    break
+            self._finish()
+            return self._result()
+        finally:
+            if tm is not None:
+                tm.end_run()
 
     def _parallel_eligible(self) -> bool:
         """Whether this run may use the sharded multi-process engine.
@@ -626,14 +647,35 @@ class SynchronousNetwork:
 
     def _setup(self) -> None:
         self.current_round = 0
+        tm = self._timing
+        t0 = perf_counter() if tm is not None else 0.0
         for node in self.nodes.values():
             if node.alive:
                 node.program.on_setup(node.context)
+        if tm is not None:
+            tm.add("handler", perf_counter() - t0)
 
     def _finish(self) -> None:
+        tm = self._timing
+        t0 = perf_counter() if tm is not None else 0.0
         for node in self.nodes.values():
             if node.alive:
                 node.program.on_protocol_end(node.context)
+        if tm is not None:
+            tm.add("handler", perf_counter() - t0)
+
+    def _finish_round_timing(self, tm, rnd: Round) -> None:
+        """Close the round's timing record; when also traced, emit it as
+        a :class:`TimingEvent` so traces carry the breakdown inline."""
+        record = tm.end_round()
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.emit(TimingEvent(
+                rnd=rnd,
+                wall=record["wall"],
+                buckets=dict(record["buckets"]),
+                shards=list(record["shards"]),
+            ))
 
     def _everyone_done(self) -> bool:
         return all(
@@ -665,6 +707,9 @@ class SynchronousNetwork:
         transport = self.transport
         tracer = self.tracer
         traced = tracer.enabled
+        tm = self._timing
+        if tm is not None:
+            tm.start_round(rnd)
         fast = self._fanout_fast_path
         # With envelope accounting, per-wire sends are logical-only; the
         # physical ledger gets one coalesced crossing per link below.
@@ -680,21 +725,30 @@ class SynchronousNetwork:
         if traced:
             tracer.phase(rnd, "begin", count=len(self._outbox_now))
         self._in_round_begin = True
+        t0 = perf_counter() if tm is not None else 0.0
         for node in nodes.values():
             if node.alive:
                 node.program.on_round_begin(node.context)
+        if tm is not None:
+            tm.add("handler", perf_counter() - t0)
         self._in_round_begin = False
 
         # Phase 2: transmit.
         if traced:
             tracer.phase(rnd, "transmit", count=len(self._outbox_now))
+        digest_s = serialize_s = seal_s = 0.0
         transmissions: List[WireMessage] = []
         for intent in self._outbox_now:
             sender_node = nodes[intent.sender]
             if not sender_node.alive:
                 continue
             message = intent.message.with_round(rnd)
-            digest = self._ack_digest(_multicast_key(message))
+            if tm is None:
+                digest = self._ack_digest(_multicast_key(message))
+            else:
+                t0 = perf_counter()
+                digest = self._ack_digest(_multicast_key(message))
+                digest_s += perf_counter() - t0
             handle = MulticastHandle(
                 sender=intent.sender,
                 rnd=rnd,
@@ -709,10 +763,20 @@ class SynchronousNetwork:
                 # Nothing to size or write (n == 1, or an explicitly empty
                 # target list); the handle above still tracks the call.
                 continue
-            size_hint = transport.message_size(message)
-            wires = transport.write_fanout(
-                intent.sender, intent.targets, message, size_hint
-            )
+            if tm is None:
+                size_hint = transport.message_size(message)
+                wires = transport.write_fanout(
+                    intent.sender, intent.targets, message, size_hint
+                )
+            else:
+                t0 = perf_counter()
+                size_hint = transport.message_size(message)
+                t1 = perf_counter()
+                wires = transport.write_fanout(
+                    intent.sender, intent.targets, message, size_hint
+                )
+                serialize_s += t1 - t0
+                seal_s += perf_counter() - t1
             if not wires:
                 continue
             if fast:
@@ -740,6 +804,10 @@ class SynchronousNetwork:
                         behavior, intent.sender, wire, rnd, transmissions
                     )
         self._outbox_now = []
+        if tm is not None:
+            tm.add("digest", digest_s)
+            tm.add("serialize", serialize_s)
+            tm.add("seal", seal_s)
 
         # Injected (replayed / forged) wires and previously delayed wires
         # (only OS behaviours produce either, so the fast path has none).
@@ -791,8 +859,14 @@ class SynchronousNetwork:
             # write/read and handle lookup per ACK.  (FULL seals each ACK
             # for real — per-wire sizes and enclave RNG draws must match
             # the legacy path — so it keeps the wire loop below.)
+            t0 = perf_counter() if tm is not None else 0.0
             self._ack_wave_fast(ack_queue, rnd)
+            if tm is not None:
+                tm.add("ack_wave", perf_counter() - t0)
         else:
+            # The ACK write loop is charged to ack_wave; the delivery call
+            # below attributes its own open / handler time internally.
+            t0 = perf_counter() if tm is not None else 0.0
             ack_wires: List[WireMessage] = []
             for acker, dest, ack in ack_queue:
                 acker_node = nodes[acker]
@@ -818,6 +892,8 @@ class SynchronousNetwork:
                 self._apply_send_filter(behavior, acker, wire, rnd, ack_wires)
             if not physical and ack_wires:
                 self._record_physical_links(ack_wires, rnd, "ack")
+            if tm is not None:
+                tm.add("ack_wave", perf_counter() - t0)
             if fast:
                 self._deliver_fast(ack_wires, rnd)
             else:
@@ -826,6 +902,8 @@ class SynchronousNetwork:
         # Phases 5 and 6 are shared with the envelope path.
         halted_now = self._phase_halt_check(rnd)
         self._phase_end(rnd, halted_now, omissions_before, rejections_before)
+        if tm is not None:
+            self._finish_round_timing(tm, rnd)
 
     def _phase_halt_check(self, rnd: Round) -> List[NodeId]:
         """Phase 5: halt-on-divergence check (P4)."""
@@ -864,11 +942,15 @@ class SynchronousNetwork:
         live = sum(1 for node in nodes.values() if node.alive)
         if traced:
             tracer.phase(rnd, "end", count=live)
+        tm = self._timing
+        t0 = perf_counter() if tm is not None else 0.0
         for node in nodes.values():
             if node.alive:
                 node.program.on_round_end(node.context)
             if node.behavior is not None:
                 node.behavior.on_round_end(rnd)
+        if tm is not None:
+            tm.add("handler", perf_counter() - t0)
 
         # Advance simulated time under the shared-link bandwidth model.
         seconds = self.config.round_seconds
@@ -993,6 +1075,9 @@ class SynchronousNetwork:
         tracer = self.tracer
         traced = tracer.enabled
         full = transport.security is ChannelSecurity.FULL
+        tm = self._timing
+        if tm is not None:
+            tm.start_round(rnd)
         omissions_before = traffic.omissions
         rejections_before = traffic.rejections
         self._pending_handles.clear()
@@ -1004,9 +1089,12 @@ class SynchronousNetwork:
         if traced:
             tracer.phase(rnd, "begin", count=len(self._outbox_now))
         self._in_round_begin = True
+        t0 = perf_counter() if tm is not None else 0.0
         for node in nodes.values():
             if node.alive:
                 node.program.on_round_begin(node.context)
+        if tm is not None:
+            tm.add("handler", perf_counter() - t0)
         self._in_round_begin = False
 
         # Phase 2: transmit.  First build the delivery plan — one entry
@@ -1019,11 +1107,17 @@ class SynchronousNetwork:
         plan: List[Tuple[NodeId, Tuple[NodeId, ...], ProtocolMessage, int]] = []
         per_sender: Dict[NodeId, List[tuple]] = {}
         logical_count = 0
+        digest_s = serialize_s = 0.0
         for intent in self._outbox_now:
             if not nodes[intent.sender].alive:
                 continue
             message = intent.message.with_round(rnd)
-            digest = self._ack_digest(_multicast_key(message))
+            if tm is None:
+                digest = self._ack_digest(_multicast_key(message))
+            else:
+                t0 = perf_counter()
+                digest = self._ack_digest(_multicast_key(message))
+                digest_s += perf_counter() - t0
             if intent.expect_acks:
                 self._pending_handles[(intent.sender, digest)] = MulticastHandle(
                     sender=intent.sender,
@@ -1040,13 +1134,23 @@ class SynchronousNetwork:
             if full:
                 # FULL charges the real per-member sealed sizes, known
                 # only after sealing; bodies are encoded once per fan-out.
-                body = encode(message.to_tuple())
+                if tm is None:
+                    body = encode(message.to_tuple())
+                else:
+                    t0 = perf_counter()
+                    body = encode(message.to_tuple())
+                    serialize_s += perf_counter() - t0
                 plan.append((intent.sender, intent.targets, message, 0))
                 per_sender.setdefault(intent.sender, []).append(
                     (intent.targets, message, body)
                 )
             else:
-                size_hint = transport.message_size(message)
+                if tm is None:
+                    size_hint = transport.message_size(message)
+                else:
+                    t0 = perf_counter()
+                    size_hint = transport.message_size(message)
+                    serialize_s += perf_counter() - t0
                 plan.append((intent.sender, intent.targets, message, size_hint))
                 per_sender.setdefault(intent.sender, []).append(
                     (intent.targets, message, size_hint)
@@ -1072,9 +1176,13 @@ class SynchronousNetwork:
                             charged=True,
                         ))
         self._outbox_now = []
+        if tm is not None:
+            tm.add("digest", digest_s)
+            tm.add("serialize", serialize_s)
 
         # Seal one envelope per link.  Counters advance per member, so
         # channel state stays interchangeable with the per-wire path.
+        t0 = perf_counter() if tm is not None else 0.0
         envelopes: List[Envelope] = []
         overhead = CHANNEL_OVERHEAD_BYTES
         for sender, entries in per_sender.items():
@@ -1138,12 +1246,15 @@ class SynchronousNetwork:
                         tracer.envelope(
                             rnd, sender, receiver, len(members), env_size
                         )
+        if tm is not None:
+            tm.add("seal", perf_counter() - t0)
 
         # Phase 3: deliver.  Open each live receiver's envelopes (the
         # link-level integrity / freshness checks, and for FULL the single
         # AEAD open), then dispatch members in plan order.
         if traced:
             tracer.phase(rnd, "deliver", count=logical_count)
+        t0 = perf_counter() if tm is not None else 0.0
         opened: Dict[Tuple[NodeId, NodeId], deque] = {}
         for env in envelopes:
             if not nodes[env.receiver].alive:
@@ -1151,6 +1262,8 @@ class SynchronousNetwork:
             members = transport.open_envelope(env.receiver, env)
             if full:
                 opened[(env.sender, env.receiver)] = deque(members)
+        if tm is not None:
+            tm.add("open", perf_counter() - t0)
         n = self.config.n
         dispatch = [None] * n
         for node_id in range(n):
@@ -1159,6 +1272,7 @@ class SynchronousNetwork:
                 node.enclave, node.program.on_message, node.context
             )
         halted = EnclaveState.HALTED
+        t0 = perf_counter() if tm is not None else 0.0
         for sender, targets, message, size_hint in plan:
             mtype = message.type.value if traced else None
             for receiver in targets:
@@ -1181,6 +1295,8 @@ class SynchronousNetwork:
                     )
                 else:
                     on_message(context, sender, message)
+        if tm is not None:
+            tm.add("handler", perf_counter() - t0)
 
         # Phase 4: ack wave (same round trip).
         queue = self._ack_queue_fast
@@ -1188,14 +1304,19 @@ class SynchronousNetwork:
         if traced:
             tracer.phase(rnd, "ack_wave", count=len(queue))
         if queue:
+            t0 = perf_counter() if tm is not None else 0.0
             if full:
                 self._ack_wave_envelope_full(queue, rnd)
             else:
                 self._ack_wave_envelope(queue, rnd)
+            if tm is not None:
+                tm.add("ack_wave", perf_counter() - t0)
 
         # Phases 5 and 6 are shared with the per-wire path.
         halted_now = self._phase_halt_check(rnd)
         self._phase_end(rnd, halted_now, omissions_before, rejections_before)
+        if tm is not None:
+            self._finish_round_timing(tm, rnd)
 
     def _ack_wave_envelope(
         self, queue: List[Tuple[NodeId, NodeId, bytes]], rnd: Round
@@ -1383,24 +1504,56 @@ class SynchronousNetwork:
         traffic = self.stats.traffic
         read = self.transport.read
         handles = self._pending_handles
+        tm = self._timing
+        if tm is None:
+            for wire in wires:
+                receiver_node = nodes.get(wire.receiver)
+                if receiver_node is None or not receiver_node.alive:
+                    traffic.record_omission()
+                    continue
+                try:
+                    message = read(wire.receiver, wire)
+                except (IntegrityError, ReplayError, StaleRoundError,
+                        ProtocolError):
+                    traffic.record_rejection()
+                    continue
+                if message.type is MessageType.ACK:
+                    handle = handles.get((wire.receiver, message.payload))
+                    if handle is not None:
+                        handle.acks += 1
+                    continue
+                receiver_node.program.on_message(
+                    receiver_node.context, wire.sender, message
+                )
+            return
+        # Timed twin of the loop above: channel reads accrue to ``open``,
+        # program dispatch to ``handler``.
+        open_s = handler_s = 0.0
         for wire in wires:
             receiver_node = nodes.get(wire.receiver)
             if receiver_node is None or not receiver_node.alive:
                 traffic.record_omission()
                 continue
+            t0 = perf_counter()
             try:
                 message = read(wire.receiver, wire)
             except (IntegrityError, ReplayError, StaleRoundError, ProtocolError):
+                open_s += perf_counter() - t0
                 traffic.record_rejection()
                 continue
+            open_s += perf_counter() - t0
             if message.type is MessageType.ACK:
                 handle = handles.get((wire.receiver, message.payload))
                 if handle is not None:
                     handle.acks += 1
                 continue
+            t0 = perf_counter()
             receiver_node.program.on_message(
                 receiver_node.context, wire.sender, message
             )
+            handler_s += perf_counter() - t0
+        tm.add("open", open_s)
+        tm.add("handler", handler_s)
 
     def _deliver(
         self, wires: List[WireMessage], rnd: Round, is_ack_wave: bool
@@ -1411,6 +1564,8 @@ class SynchronousNetwork:
         tracer = self.tracer
         traced = tracer.enabled
         handles = self._pending_handles
+        tm = self._timing
+        open_s = handler_s = 0.0
         for wire in wires:
             receiver_node = nodes.get(wire.receiver)
             if receiver_node is None or not receiver_node.alive:
@@ -1424,18 +1579,25 @@ class SynchronousNetwork:
                 if traced:
                     tracer.wire(rnd, wire, "drop_recv", actor=wire.receiver)
                 continue
+            t0 = perf_counter() if tm is not None else 0.0
             try:
                 message = transport.read(wire.receiver, wire)
             except (IntegrityError, ReplayError, StaleRoundError):
+                if tm is not None:
+                    open_s += perf_counter() - t0
                 traffic.record_rejection()
                 if traced:
                     tracer.wire(rnd, wire, "reject")
                 continue
             except ProtocolError:
+                if tm is not None:
+                    open_s += perf_counter() - t0
                 traffic.record_rejection()
                 if traced:
                     tracer.wire(rnd, wire, "reject")
                 continue
+            if tm is not None:
+                open_s += perf_counter() - t0
             if message.type is MessageType.ACK:
                 handle = handles.get((wire.receiver, message.payload))
                 if handle is not None:
@@ -1443,6 +1605,12 @@ class SynchronousNetwork:
                 # ACKs for unknown multicasts (replays, cross-round strays)
                 # are ignored — exactly the 'treat as omitted' rule.
                 continue
+            t0 = perf_counter() if tm is not None else 0.0
             receiver_node.program.on_message(
                 receiver_node.context, wire.sender, message
             )
+            if tm is not None:
+                handler_s += perf_counter() - t0
+        if tm is not None:
+            tm.add("open", open_s)
+            tm.add("handler", handler_s)

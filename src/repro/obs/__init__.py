@@ -1,25 +1,39 @@
-"""repro.obs — unified tracing and metrics for the round engine.
+"""repro.obs — unified tracing, metrics and performance reporting.
 
-Three pieces:
+Six pieces:
 
 * :mod:`repro.obs.events` — the typed event vocabulary (round spans,
-  wire actions, halts, decisions, churn);
+  wire actions, halts, decisions, churn, timing, provenance);
 * :mod:`repro.obs.tracer` — the :class:`Tracer` the engine and protocols
   emit into (disabled by default, zero overhead when off);
 * :mod:`repro.obs.metrics` — counters / gauges / histograms plus the
   wall-clock :data:`PROFILER` hooks around crypto and serialization;
-* :mod:`repro.obs.export` — JSONL persistence and the per-round
-  timeline renderer behind ``python -m repro inspect``.
+* :mod:`repro.obs.timing` — the :class:`TimingCollector` that attributes
+  per-round wall clock to engine phases (``--timing-out``), including
+  per-shard busy/idle on the parallel engine;
+* :mod:`repro.obs.machine` — machine provenance stamps (git rev, CPU
+  count, workers) attached to every persisted measurement;
+* :mod:`repro.obs.export` / :mod:`repro.obs.report` — JSONL persistence,
+  the ``inspect`` timeline, and the ``report`` renderers (CLI table,
+  self-contained HTML, collapsed-stack flame export);
+* :mod:`repro.obs.bench` — the benchmark-history regression gate behind
+  ``tools/bench_check.py``.
 
 Typical use::
 
-    from repro.obs import JsonlSink, Tracer
+    from repro.obs import JsonlSink, Tracer, TimingCollector
 
-    config = SimulationConfig(n=16, tracer=Tracer(JsonlSink("t.jsonl")))
+    config = SimulationConfig(
+        n=16,
+        tracer=Tracer(JsonlSink("t.jsonl")),
+        timing=TimingCollector(),
+    )
     result = run_erb(config, initiator=0, message=b"hello")
     config.tracer.close()
+    print(config.timing.coverage())   # fraction of wall attributed
 """
 
+from repro.obs.bench import GateResult, check_file, check_history
 from repro.obs.events import (
     ROUND_PHASES,
     CampaignEvent,
@@ -27,9 +41,11 @@ from repro.obs.events import (
     DecisionEvent,
     EnvelopeEvent,
     HaltEvent,
+    MetaEvent,
     PhaseEvent,
     ProtocolEvent,
     RoundSpan,
+    TimingEvent,
     WireEvent,
     event_from_dict,
     event_to_dict,
@@ -41,6 +57,7 @@ from repro.obs.export import (
     render_timeline,
     write_trace,
 )
+from repro.obs.machine import git_revision, machine_stamp, stamps_comparable
 from repro.obs.metrics import (
     PROFILER,
     Counter,
@@ -49,6 +66,8 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Profiler,
 )
+from repro.obs.report import render_report, timing_to_collapsed
+from repro.obs.timing import PHASE_BUCKETS, TimingCollector
 from repro.obs.tracer import NULL_TRACER, MemorySink, NullSink, Tracer
 
 __all__ = [
@@ -57,26 +76,38 @@ __all__ = [
     "Counter",
     "DecisionEvent",
     "EnvelopeEvent",
+    "GateResult",
     "Gauge",
     "HaltEvent",
     "Histogram",
     "JsonlSink",
     "MemorySink",
+    "MetaEvent",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullSink",
+    "PHASE_BUCKETS",
     "PROFILER",
     "PhaseEvent",
     "Profiler",
     "ProtocolEvent",
     "ROUND_PHASES",
     "RoundSpan",
+    "TimingCollector",
+    "TimingEvent",
     "Tracer",
     "WireEvent",
     "charged_bytes_by_round",
+    "check_file",
+    "check_history",
     "event_from_dict",
     "event_to_dict",
+    "git_revision",
+    "machine_stamp",
     "read_trace",
+    "render_report",
     "render_timeline",
+    "stamps_comparable",
+    "timing_to_collapsed",
     "write_trace",
 ]

@@ -26,7 +26,13 @@ The event kinds mirror the paper's evaluation vocabulary:
   (ejections, live byzantine count, agreement);
 * :class:`CampaignEvent` — one finished fault-injection campaign case
   (:mod:`repro.campaign`): the grid cell, its verdict, and the path of
-  the shrunk reproducer artifact if it failed.
+  the shrunk reproducer artifact if it failed;
+* :class:`TimingEvent` — one round's phase-attributed wall-clock
+  breakdown (emitted when a run is both traced and timed, see
+  :mod:`repro.obs.timing`);
+* :class:`MetaEvent` — run provenance (the machine stamp of
+  :mod:`repro.obs.machine`), emitted once at the head of a trace so
+  timing comparisons across trace files stay stamp-aware.
 """
 
 from __future__ import annotations
@@ -196,6 +202,32 @@ class CampaignEvent:
     rnd: int = 0
 
 
+@dataclass
+class TimingEvent:
+    """One round's phase-attributed wall-clock breakdown.
+
+    ``buckets`` maps the :data:`repro.obs.timing.PHASE_BUCKETS` names to
+    seconds; their sum covers the round's measured ``wall`` (the
+    collector charges the residual to ``other``).  ``shards`` carries
+    the parallel engine's per-shard busy/idle split when present.
+    """
+
+    kind: ClassVar[str] = "timing"
+    rnd: int
+    wall: float
+    buckets: Dict[str, float] = field(default_factory=dict)
+    shards: List[dict] = field(default_factory=list)
+
+
+@dataclass
+class MetaEvent:
+    """Run provenance: the machine stamp (git rev, cpu_count, workers)."""
+
+    kind: ClassVar[str] = "meta"
+    machine: Dict[str, object] = field(default_factory=dict)
+    rnd: int = 0
+
+
 #: All event classes, keyed by their ``kind`` tag (used by the exporter).
 EVENT_TYPES: Dict[str, type] = {
     cls.kind: cls
@@ -209,6 +241,8 @@ EVENT_TYPES: Dict[str, type] = {
         ProtocolEvent,
         ChurnEvent,
         CampaignEvent,
+        TimingEvent,
+        MetaEvent,
     )
 }
 

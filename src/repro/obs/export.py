@@ -20,8 +20,10 @@ from repro.obs.events import (
     DecisionEvent,
     EnvelopeEvent,
     HaltEvent,
+    MetaEvent,
     PhaseEvent,
     RoundSpan,
+    TimingEvent,
     WireEvent,
     event_from_dict,
     event_to_dict,
@@ -101,6 +103,8 @@ def render_timeline(events: Sequence[object]) -> str:
         return entry
 
     churn_events: List[ChurnEvent] = []
+    timing_events: List[TimingEvent] = []
+    machine: Dict[str, object] = {}
     for event in events:
         if isinstance(event, PhaseEvent):
             row(event.rnd)["phases"].append(event.phase)
@@ -112,6 +116,10 @@ def render_timeline(events: Sequence[object]) -> str:
             row(event.rnd)["decisions"].append(event)
         elif isinstance(event, ChurnEvent):
             churn_events.append(event)
+        elif isinstance(event, TimingEvent):
+            timing_events.append(event)
+        elif isinstance(event, MetaEvent) and not machine:
+            machine = event.machine
 
     wire_bytes = charged_bytes_by_round(events)
     total_bytes = sum(
@@ -120,6 +128,16 @@ def render_timeline(events: Sequence[object]) -> str:
     lines: List[str] = [
         f"trace: {len(events)} events over {len(rounds)} round(s), "
         f"{total_bytes} bytes on the wire",
+    ]
+    if machine:
+        stamp = ", ".join(
+            f"{key}={machine[key]}"
+            for key in ("git_rev", "cpu_count", "workers")
+            if key in machine
+        )
+        if stamp:
+            lines.append(f"machine: {stamp}")
+    lines += [
         "",
         f"{'rnd':>4}  {'phases':<44}  {'bytes':>9}  {'omissions':>9}  "
         f"{'rejections':>10}  {'halts':>12}  {'decided':>7}",
@@ -158,6 +176,21 @@ def render_timeline(events: Sequence[object]) -> str:
             f"messages ({ratio:.1f}x coalesced), {physical} physical bytes "
             f"vs {total_bytes} logical"
         )
+
+    if timing_events:
+        lines.append("")
+        lines.append("timing (top buckets per round; full breakdown via "
+                     "`python -m repro report`):")
+        for t in timing_events:
+            top = sorted(t.buckets.items(), key=lambda kv: -kv[1])[:3]
+            detail = ", ".join(
+                f"{name} {seconds * 1e3:.1f}ms" for name, seconds in top
+            )
+            shards = f", {len(t.shards)} shards" if t.shards else ""
+            lines.append(
+                f"  round {t.rnd}: {t.wall * 1e3:.1f}ms wall — "
+                f"{detail or 'unattributed'}{shards}"
+            )
 
     halts = [h for entry in rounds.values() for h in entry["halts"]]
     if halts:

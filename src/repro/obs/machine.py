@@ -1,0 +1,65 @@
+"""Machine provenance stamps for benchmark history and run sidecars.
+
+A wall-clock number without its machine is an anecdote: the same
+benchmark case differs 3x between a laptop and a one-core CI container.
+Every persisted measurement — ``BENCH_engine.json`` history entries,
+``--timing-out`` / ``--metrics-out`` sidecars, trace files — therefore
+carries the same stamp (git rev, CPU count, worker count), and the
+regression gate in :mod:`repro.obs.bench` only compares entries whose
+stamps are comparable.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def git_revision() -> Optional[str]:
+    """The repo's short git rev, or None outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    rev = out.stdout.strip()
+    return rev if out.returncode == 0 and rev else None
+
+
+def machine_stamp(workers: Optional[int] = None) -> Dict:
+    """Provenance fields for persisted measurements.
+
+    Timestamp-only entries from different machines are incomparable;
+    stamping the git rev, CPU count and worker count makes a history
+    line reproducible evidence rather than an anecdote.
+    """
+    stamp: Dict = {
+        "git_rev": git_revision(),
+        "cpu_count": os.cpu_count(),
+    }
+    if workers is not None:
+        stamp["workers"] = workers
+    return stamp
+
+
+def stamps_comparable(a: Dict, b: Dict) -> bool:
+    """Whether two stamped entries measure the same machine shape.
+
+    Comparable means same CPU count and same worker count (and both
+    actually stamped) — the two parameters that change what a throughput
+    number physically means.  Git revs are expected to differ; that is
+    the regression being looked for.
+    """
+    for key in ("cpu_count", "workers"):
+        if a.get(key) is None or b.get(key) is None:
+            return False
+        if a[key] != b[key]:
+            return False
+    return True

@@ -110,6 +110,29 @@ class Histogram:
             "max": self.max,
         }
 
+    def dump(self) -> Dict[str, object]:
+        """Lossless-enough export for cross-process merging: exact count
+        and total, plus the retained (possibly decimated) samples."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "samples": list(self._samples),
+        }
+
+    def merge_dump(self, data: Dict[str, object]) -> None:
+        """Fold a :meth:`dump` from another process into this histogram.
+
+        Counts and totals add exactly (the invariant the parallel-engine
+        profiler test pins); samples concatenate and re-decimate, so the
+        quantile estimates stay benchmark-grade, not byte-exact.
+        """
+        self.count += int(data["count"])
+        self.total += float(data["total"])
+        self._samples.extend(data["samples"])
+        self._sorted = False
+        while len(self._samples) > self.max_samples:
+            del self._samples[::2]
+
 
 class _Timer:
     """Context manager feeding wall-clock seconds into a histogram."""
@@ -172,6 +195,37 @@ class MetricsRegistry:
                 for name, metric in sorted(self._histograms.items())
             },
         }
+
+    def dump(self) -> Dict[str, Dict[str, object]]:
+        """Exact-valued export for cross-process merging (histograms keep
+        their samples, unlike the summary-only :meth:`as_dict`)."""
+        return {
+            "counters": {
+                name: metric.value for name, metric in self._counters.items()
+            },
+            "gauges": {
+                name: metric.value for name, metric in self._gauges.items()
+            },
+            "histograms": {
+                name: metric.dump()
+                for name, metric in self._histograms.items()
+            },
+        }
+
+    def merge_dump(self, data: Dict[str, Dict[str, object]]) -> None:
+        """Fold another process's :meth:`dump` into this registry.
+
+        Counters and histogram counts/totals add exactly; gauges take the
+        incoming value (point-in-time semantics — last write wins).  This
+        is how the parallel engine's coordinator re-absorbs worker-side
+        PROFILER observations that would otherwise die with the fork.
+        """
+        for name, value in data.get("counters", {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in data.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, hist in data.get("histograms", {}).items():
+            self.histogram(name).merge_dump(hist)
 
     def __len__(self) -> int:
         return len(self._counters) + len(self._gauges) + len(self._histograms)

@@ -1,0 +1,175 @@
+"""The bench-regression gate: comparability, thresholds, exit codes.
+
+The gate's contract (``repro.obs.bench`` / ``tools/bench_check.py``):
+exit 0 on pass, 1 when the newest ``BENCH_*.json`` entry regresses more
+than the threshold against the best *comparable* prior entry, 2 when the
+history is structurally unusable.  Comparable means both entries are
+stamped and agree on cpu_count, workers and scale — numbers from
+different machine shapes are never compared.
+"""
+
+from __future__ import annotations
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.bench import (
+    check_file,
+    check_history,
+    entries_comparable,
+)
+
+REPO = Path(__file__).resolve().parent.parent
+DATA = Path(__file__).parent / "data"
+
+
+def _load(name: str) -> dict:
+    with open(DATA / name, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+class TestComparability:
+    def test_same_stamp_is_comparable(self):
+        a = {"cpu_count": 4, "workers": 2, "scale": "default"}
+        assert entries_comparable(a, dict(a))
+
+    @pytest.mark.parametrize("key", ["cpu_count", "workers", "scale"])
+    def test_differing_stamp_key_breaks_comparability(self, key):
+        a = {"cpu_count": 4, "workers": 2, "scale": "default"}
+        b = dict(a)
+        b[key] = "other" if key == "scale" else 99
+        assert not entries_comparable(a, b)
+
+    @pytest.mark.parametrize("key", ["cpu_count", "workers", "scale"])
+    def test_unstamped_entry_is_never_comparable(self, key):
+        a = {"cpu_count": 4, "workers": 2, "scale": "default"}
+        b = dict(a)
+        del b[key]
+        assert not entries_comparable(a, b)
+
+    def test_git_rev_difference_does_not_break_comparability(self):
+        a = {"cpu_count": 4, "workers": 2, "scale": "default",
+             "git_rev": "aaa"}
+        b = dict(a, git_rev="bbb")
+        assert entries_comparable(a, b)
+
+
+class TestGate:
+    def test_mini_fixture_passes(self):
+        result = check_history(_load("bench_mini.json"))
+        assert result.ok
+        assert result.exit_code == 0
+        assert result.compared_entries == 1
+        assert "PASS" in result.report()
+
+    def test_regression_fixture_fails(self):
+        """The checked-in synthetic 20% regression must trip the gate."""
+        result = check_history(_load("bench_regression.json"))
+        assert not result.ok
+        assert result.exit_code == 1
+        regressed = [d for d in result.deltas if d.regressed]
+        assert [d.case for d in regressed] == ["erb_n64_fanout"]
+        assert regressed[0].ratio == pytest.approx(0.80)
+        assert "REGRESSED" in result.report()
+        assert "FAIL" in result.report()
+
+    def test_regression_within_threshold_passes(self):
+        """A 20% drop is fine when the threshold is loosened to 25%."""
+        result = check_history(_load("bench_regression.json"), threshold=0.25)
+        assert result.ok
+        assert result.exit_code == 0
+
+    def test_incomparable_prior_is_ignored(self):
+        """Change the prior's machine shape: nothing left to compare, so
+        the 20% drop cannot be called a regression."""
+        data = _load("bench_regression.json")
+        data["history"][0]["cpu_count"] = 64
+        result = check_history(data)
+        assert result.ok
+        assert result.compared_entries == 0
+        assert "nothing comparable" in result.report()
+
+    def test_speedup_ratchet_floor(self):
+        data = _load("bench_mini.json")
+        data["history"][-1]["parallel_speedup_vs_serial"] = 1.0  # < 1.42
+        result = check_history(data)
+        assert not result.ok
+        assert result.exit_code == 1
+        assert "parallel_speedup_vs_serial" in result.report()
+
+    def test_new_case_is_not_a_regression(self):
+        data = _load("bench_mini.json")
+        data["history"][-1]["cases"]["brand_new"] = {
+            "messages_per_sec": 1.0
+        }
+        result = check_history(data)
+        assert result.ok
+        assert "new case" in result.report()
+
+    def test_real_repo_history_passes(self):
+        """The repo's own BENCH_engine.json must pass its own gate."""
+        result = check_file(REPO / "BENCH_engine.json")
+        assert result.ok, result.report()
+        assert result.exit_code == 0
+
+    @pytest.mark.parametrize(
+        "data",
+        [
+            {},
+            {"history": []},
+            {"history": "not-a-list"},
+            {"history": [{"timestamp": "x"}]},  # newest has no cases
+        ],
+    )
+    def test_structural_errors_exit_2(self, data):
+        result = check_history(data)
+        assert not result.ok
+        assert result.exit_code == 2
+
+    def test_unreadable_file_is_structural(self, tmp_path):
+        result = check_file(tmp_path / "missing.json")
+        assert result.exit_code == 2
+        garbage = tmp_path / "garbage.json"
+        garbage.write_text("not json {")
+        assert check_file(garbage).exit_code == 2
+
+
+class TestCliScript:
+    """tools/bench_check.py is the CI surface: pin its exit codes."""
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "bench_check.py"), *argv],
+            capture_output=True,
+            text=True,
+            timeout=60,
+        )
+
+    def test_exit_zero_on_passing_fixture(self):
+        proc = self._run(str(DATA / "bench_mini.json"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "PASS" in proc.stdout
+
+    def test_exit_one_on_regression_fixture(self):
+        proc = self._run(str(DATA / "bench_regression.json"))
+        assert proc.returncode == 1, proc.stdout + proc.stderr
+        assert "REGRESSED" in proc.stdout
+
+    def test_exit_two_on_garbage(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("[1,")
+        proc = self._run(str(bad))
+        assert proc.returncode == 2
+
+    def test_html_artifact_is_written(self, tmp_path):
+        out = tmp_path / "report.html"
+        proc = self._run(str(DATA / "bench_mini.json"), "--html", str(out))
+        assert proc.returncode == 0
+        html = out.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "erb_n64_fanout" in html

@@ -76,3 +76,102 @@ class TestVerbose:
             main(["erb", "--n", "8", "--message", "x"])
         accepted = [r for r in caplog.records if "accepted" in r.getMessage()]
         assert accepted, "expected accept lines on repro.protocol"
+
+
+class TestTimingOut:
+    def test_erb_timing_out_sidecar(self, tmp_path, capsys):
+        sidecar = str(tmp_path / "tm.json")
+        assert main(
+            ["erb", "--n", "16", "--message", "x", "--timing-out", sidecar]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "timing written to" in err
+        assert "attributed" in err
+        with open(sidecar) as fh:
+            payload = json.load(fh)
+        assert payload["kind"] == "timing"
+        assert payload["engine"] == "envelope"
+        assert payload["machine"]["workers"] == 1
+        assert payload["machine"]["cpu_count"] is not None
+        assert payload["rounds"]
+        assert sum(payload["totals"].values()) > 0
+
+    def test_metrics_out_sidecar_is_stamped(self, tmp_path, capsys):
+        sidecar = str(tmp_path / "mx.json")
+        assert main(
+            ["erb", "--n", "8", "--message", "x", "--metrics-out", sidecar]
+        ) == 0
+        assert "metrics written to" in capsys.readouterr().err
+        with open(sidecar) as fh:
+            payload = json.load(fh)
+        assert "machine" in payload
+        assert payload["machine"]["cpu_count"] is not None
+        # the run's stats were published into the profiler registry
+        assert payload["metrics"]["counters"]["run.rounds"] >= 1
+        # and the CLI turned the profiler back off afterwards
+        from repro.obs import PROFILER
+        assert PROFILER.enabled is False
+
+    def test_traced_and_timed_run_emits_timing_events(self, tmp_path, capsys):
+        trace_path = str(tmp_path / "t.jsonl")
+        sidecar = str(tmp_path / "tm.json")
+        assert main(
+            [
+                "erb", "--n", "16", "--message", "x",
+                "--trace-out", trace_path, "--timing-out", sidecar,
+            ]
+        ) == 0
+        capsys.readouterr()
+        with open(trace_path) as fh:
+            records = [json.loads(line) for line in fh]
+        assert records[0]["kind"] == "meta"
+        assert records[0]["machine"]["cpu_count"] is not None
+        assert any(r["kind"] == "timing" for r in records)
+        # inspect summarizes the timing events instead of failing on them
+        assert main(["inspect", trace_path]) == 0
+        timeline = capsys.readouterr().out
+        assert "machine:" in timeline
+        assert "timing (top buckets per round" in timeline
+
+    def test_beacon_ignores_observability_flags(self, tmp_path, capsys):
+        assert main(
+            [
+                "beacon", "--n", "9", "--epochs", "1",
+                "--timing-out", str(tmp_path / "t.json"),
+            ]
+        ) == 0
+        assert "not supported for the beacon" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_report_on_timing_sidecar(self, tmp_path, capsys):
+        sidecar = str(tmp_path / "tm.json")
+        main(["erb", "--n", "16", "--message", "x", "--timing-out", sidecar])
+        capsys.readouterr()
+        html_out = str(tmp_path / "r.html")
+        flame_out = str(tmp_path / "f.txt")
+        assert main(
+            ["report", sidecar, "--html", html_out, "--flame", flame_out]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "engine=envelope" in out
+        assert "phase" in out
+        with open(html_out) as fh:
+            assert fh.read().startswith("<!doctype html>")
+        with open(flame_out) as fh:
+            assert ";" in fh.read()
+
+    def test_report_on_bench_fixture(self, capsys):
+        from pathlib import Path
+
+        fixture = str(Path(__file__).parent / "data" / "bench_mini.json")
+        assert main(["report", fixture]) == 0
+        out = capsys.readouterr().out
+        assert "throughput trend" in out
+        assert "bench gate: PASS" in out
+
+    def test_report_on_garbage_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("nope")
+        assert main(["report", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err

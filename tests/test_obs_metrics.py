@@ -48,6 +48,60 @@ class TestPrimitives:
         assert len(histogram._samples) <= 65
         assert histogram.max <= 999.0
 
+    def test_histogram_percentile_empty(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.percentile(0) == 0.0
+        assert histogram.percentile(50) == 0.0
+        assert histogram.percentile(100) == 0.0
+        assert histogram.p50 == 0.0
+        assert histogram.max == 0.0
+        assert histogram.mean == 0.0
+
+    def test_histogram_percentile_single_sample(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(7.0)
+        for p in (0, 1, 50, 99, 100):
+            assert histogram.percentile(p) == 7.0
+
+    def test_histogram_percentile_extremes(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in (3.0, 1.0, 2.0):
+            histogram.observe(value)
+        # nearest-rank: p=0 clamps to the first sample, p=100 is the max
+        assert histogram.percentile(0) == 1.0
+        assert histogram.percentile(100) == 3.0
+        assert histogram.percentile(50) == 2.0
+
+    def test_histogram_merge_dump_adds_counts_and_totals(self):
+        a = MetricsRegistry().histogram("h")
+        b = MetricsRegistry().histogram("h")
+        for value in range(10):
+            a.observe(float(value))
+        for value in range(10, 30):
+            b.observe(float(value))
+        a.merge_dump(b.dump())
+        assert a.count == 30
+        assert a.total == pytest.approx(sum(range(30)))
+        assert a.max == 29.0
+        assert a.percentile(100) == 29.0
+
+    def test_registry_merge_dump(self):
+        parent = MetricsRegistry()
+        parent.counter("c").inc(3)
+        parent.gauge("g").set(1.0)
+        parent.histogram("h").observe(1.0)
+        child = MetricsRegistry()
+        child.counter("c").inc(4)
+        child.counter("only_child").inc(1)
+        child.gauge("g").set(9.0)
+        child.histogram("h").observe(2.0)
+        parent.merge_dump(child.dump())
+        assert parent.counter("c").value == 7
+        assert parent.counter("only_child").value == 1
+        assert parent.gauge("g").value == 9.0  # last write wins
+        assert parent.histogram("h").count == 2
+        assert parent.histogram("h").total == pytest.approx(3.0)
+
     def test_timer_observes_elapsed_seconds(self):
         registry = MetricsRegistry()
         with registry.timer("t"):

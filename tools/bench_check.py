@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""CI entry point for the bench regression gate.
+
+Usage::
+
+    python tools/bench_check.py [BENCH_engine.json] [--threshold 0.15]
+                                [--html report.html]
+
+Compares the newest ``BENCH_engine.json`` history entry against the best
+comparable prior entry (same cpu_count / workers / scale stamp) and
+exits 0 on pass, 1 on a regression, 2 on a structurally unusable
+history.  ``--html`` additionally writes a self-contained HTML report
+suitable for uploading as a CI artifact.  See :mod:`repro.obs.bench`.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.obs.bench import DEFAULT_THRESHOLD, check_file  # noqa: E402
+from repro.obs.report import render_html  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "path",
+        nargs="?",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="benchmark history to gate (default: repo BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="allowed throughput drop vs best comparable prior "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--html",
+        metavar="OUT",
+        help="also write a self-contained HTML report to OUT",
+    )
+    args = parser.parse_args(argv)
+
+    result = check_file(args.path, threshold=args.threshold)
+    print(result.report())
+
+    if args.html:
+        try:
+            import json
+
+            with open(args.path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            with open(args.html, "w", encoding="utf-8") as fh:
+                fh.write(render_html("bench", payload))
+            print(f"bench gate: HTML report written to {args.html}")
+        except (OSError, ValueError) as exc:
+            print(f"bench gate: could not write HTML report: {exc}")
+
+    return result.exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

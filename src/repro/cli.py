@@ -39,6 +39,7 @@ from repro.core.agreement import run_byzantine_agreement
 from repro.core.churn import ChurnDriver
 from repro.obs import JsonlSink, Tracer, read_trace, render_timeline
 from repro.obs.events import MetaEvent
+from repro.net.parallel import planned_data_plane
 from repro.obs.machine import machine_stamp
 from repro.obs.metrics import PROFILER
 from repro.obs.timing import TimingCollector
@@ -76,10 +77,19 @@ def _tracer_for(args: argparse.Namespace) -> Optional[Tracer]:
         tracer = Tracer(JsonlSink(path))
     except OSError as exc:
         raise SystemExit(f"error: cannot write trace to {path}: {exc}")
-    tracer.emit(
-        MetaEvent(machine=machine_stamp(workers=getattr(args, "workers", None)))
-    )
+    tracer.emit(MetaEvent(machine=_stamp_for(args)))
     return tracer
+
+
+def _stamp_for(args: argparse.Namespace) -> dict:
+    """The machine stamp for this invocation, data plane included when
+    the run shape would engage the parallel engine."""
+    workers = getattr(args, "workers", None)
+    extra = {"parallel_data_plane": getattr(args, "data_plane", "auto")}
+    return machine_stamp(
+        workers=workers,
+        data_plane=planned_data_plane(workers, extra),
+    )
 
 
 def _finish_trace(tracer: Optional[Tracer], args: argparse.Namespace) -> None:
@@ -95,7 +105,7 @@ def _finish_obs(config: SimulationConfig, args: argparse.Namespace, result) -> N
     performance numbers without provenance are anecdotes (see
     :mod:`repro.obs.bench`).
     """
-    stamp = machine_stamp(workers=getattr(args, "workers", None))
+    stamp = _stamp_for(args)
     timing_out = getattr(args, "timing_out", None)
     if timing_out and config.timing is not None:
         payload = config.timing.as_dict()
@@ -154,6 +164,9 @@ def _config_for(args: argparse.Namespace, **overrides) -> SimulationConfig:
         tracer=_tracer_for(args),
         workers=getattr(args, "workers", 1),
     )
+    data_plane = getattr(args, "data_plane", "auto")
+    if data_plane != "auto":
+        params["extra"] = {"parallel_data_plane": data_plane}
     if getattr(args, "timing_out", None):
         params["timing"] = TimingCollector()
     if getattr(args, "metrics_out", None):
@@ -426,6 +439,13 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=1, metavar="P",
             help="shard node execution across P worker processes "
             "(results are byte-identical to --workers 1)",
+        )
+        p.add_argument(
+            "--data-plane", choices=("auto", "shm", "pickle"),
+            default="auto",
+            help="coordinator/worker transport for --workers > 1: "
+            "shared-memory rings, pickle pipes, or pick automatically "
+            "(results are byte-identical either way)",
         )
         p.add_argument(
             "--profile-out", default=None, metavar="PATH",

@@ -82,7 +82,33 @@ def encode(value: object) -> bytes:
 
 
 def encoded_size(value: object) -> int:
-    """Length in bytes of ``encode(value)`` (used for traffic accounting)."""
+    """Length in bytes of ``encode(value)`` (used for traffic accounting).
+
+    Computed arithmetically, without materializing the encoding: message
+    sizing runs once per multicast on the engine's hot transmit path,
+    where allocating and immediately discarding the full byte string
+    (the old implementation) was pure overhead.  Must return exactly
+    ``len(encode(value))`` for every supported value — pinned by the
+    serialization test suite.
+    """
+    if value is None or value is True or value is False:
+        return 1
+    if isinstance(value, int):
+        magnitude = abs(value)
+        body = (magnitude.bit_length() + 7) // 8 or 1
+        return 1 + _LEN_BYTES + 1 + body
+    if isinstance(value, bytes):
+        return 1 + _LEN_BYTES + len(value)
+    if isinstance(value, str):
+        return 1 + _LEN_BYTES + len(value.encode("utf-8"))
+    if isinstance(value, (tuple, list)):
+        return 1 + _LEN_BYTES + sum(encoded_size(item) for item in value)
+    if isinstance(value, dict):
+        return 1 + _LEN_BYTES + sum(
+            encoded_size(key) + encoded_size(item)
+            for key, item in value.items()
+        )
+    # Unsupported types (frozenset included) raise exactly as encode does.
     return len(encode(value))
 
 

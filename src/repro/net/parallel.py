@@ -1,4 +1,4 @@
-"""Sharded multi-process round engine.
+"""Sharded multi-process round engine (v2: streaming data plane).
 
 A synchronous lockstep round is embarrassingly parallel across
 *receivers*: on the honest envelope path (the only domain where this
@@ -6,20 +6,23 @@ module engages, see ``SynchronousNetwork._parallel_eligible``) a node's
 round work — its ``on_round_begin`` / ``on_message`` / ``on_round_end``
 transitions, outbound message sizing and ACK digest computation — reads
 and writes only that node's enclave plus the network-level queues, never
-another node's state.  So the engine can partition the ``n`` nodes into
-``P`` shards (``node_id % P``), give every shard its own *forked* worker
-process holding a full replica of the network, and run each round as a
-sequence of barriers:
+another node's state.  So the engine partitions the ``n`` nodes into
+``P`` shards (``node_id % P``), gives every shard its own *forked*
+worker process holding a full replica of the network, and runs each
+round as three phases coordinated over per-shard duplex channels
+(:mod:`repro.net.shm`: shared-memory rings, or a pipe fallback):
 
-``begin``     workers run ``on_round_begin`` for their owned nodes and
-              ship back staged send-intents (packed, with digests and
-              modeled sizes precomputed in the worker);
-``transmit``  the coordinator (main process) merges the per-shard
-              intents back into exact serial emission order, builds the
-              delivery plan and does *all* traffic accounting;
-``deliver``   the plan is broadcast once; each worker dispatches the
-              members addressed to its owned receivers and ships back
-              ACKs, next-round intents and voluntary halts;
+``begin``     the coordinator broadcasts one command frame; workers run
+              ``on_round_begin`` for their owned nodes and *stream*
+              packed send-intents back in chunks as they are produced,
+              closing the phase with one ``done`` frame;
+``transmit``  the coordinator merges the streamed intents back into
+              exact serial emission order (every record is keyed) and
+              does *all* traffic accounting while building the plan;
+``deliver``   the plan is pickled once and written into every shard's
+              ring; workers dispatch the members addressed to their
+              owned receivers, streaming next-round intents, and ship
+              ACK aggregates / voluntary halts in the ``done`` frame;
 ``ack_wave``  the coordinator credits the pending multicast handles
               (reusing the serial ``_ack_wave_envelope`` verbatim on
               traced runs; on untraced runs the workers pre-aggregate);
@@ -27,39 +30,63 @@ sequence of barriers:
               workers respectively, with divergence halts shipped down
               so every replica observes the same liveness.
 
+The v1 protocol ran the same phases over per-shard single-worker
+``ProcessPoolExecutor``s — every phase paid two pickled pipe crossings
+per shard plus the executor's queue-management threads, which the phase
+observatory measured at ~96% of parallel wall clock
+(``parallel_speedup_vs_serial`` 0.598).  v2 keeps every payload and
+merge rule bit-for-bit but changes the carriage: command frames go down
+a shared-memory ring, responses stream up as the workers produce them,
+and the coordinator splices chunks incrementally instead of sleeping on
+futures.  While the coordinator *is* blocked, the wall where at least
+one shard was busy is charged to the ``overlap`` timing bucket (that is
+parallelized compute, not coordination overhead); only the residual —
+true protocol latency — stays in ``barrier``.
+
 Determinism: per-node RNG streams live in the enclaves, which are
 sharded wholesale; shard assignment is a pure function of ``node_id``;
 every cross-process collection is keyed (node id, emission index, plan
-position) and merged in sorted key order, which provably reconstructs
-the serial engine's iteration order.  A parallel run therefore yields
-byte-identical ``RunResult`` snapshots, ``TrafficStats`` ledgers and
-traced event streams versus ``_run_round_envelope`` — enforced by
-``tests/test_parallel_engine.py``.
+position) with globally unique keys and merged in sorted key order,
+which provably reconstructs the serial engine's iteration order no
+matter how shard chunks interleave on the wire.  A parallel run
+therefore yields byte-identical ``RunResult`` snapshots,
+``TrafficStats`` ledgers and traced event streams versus
+``_run_round_envelope`` — enforced by ``tests/test_parallel_engine.py``
+and ``tests/test_parallel_v2.py`` on both data planes.
 
 Bookkeeping that is *not* replicated: the coordinator performs no
 transmit-side ``seal_envelope``/``open_envelope`` calls (on MODELED/NONE
 transports these only advance internal channel counters, which nothing
 on the eligible domain can observe), and worker-side tracers are
-swapped for in-memory sinks whose events are shipped back each barrier.
+swapped for in-memory sinks whose events are shipped back each phase.
 
-If worker processes cannot be forked at all, :func:`run_parallel`
-returns ``None`` and the caller falls back to the serial engine; a
-worker dying *mid-run* raises, because shard state is already ahead of
-the coordinator's mirror.
+If worker processes cannot be forked at all, :func:`run_parallel` logs
+why and returns ``None`` and the caller falls back to the serial
+engine; a worker dying *mid-run* raises, because shard state is already
+ahead of the coordinator's mirror.
 """
 
 from __future__ import annotations
 
 import logging
 import multiprocessing
+import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+import traceback
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import CHANNEL_OVERHEAD_BYTES
 from repro.common.types import MessageType, ProtocolMessage
+from repro.net.shm import (
+    _NOTHING,
+    _wait_spin,
+    DATA_PLANE_PICKLE,
+    DATA_PLANE_SHM,
+    make_channels,
+    shared_memory_available,
+    shared_memory_unavailable_reason,
+)
 from repro.net.simulator import (
     MulticastHandle,
     RunResult,
@@ -75,19 +102,62 @@ from repro.sgx.enclave import EnclaveState
 
 _LOG = logging.getLogger("repro.engine")
 
+_PKL = pickle.HIGHEST_PROTOCOL
+
+#: Workers flush a streamed intent chunk once it holds this many staged
+#: records — small enough that the coordinator overlaps its merge with
+#: the shard still producing, large enough to amortize the pickle.
+_FLUSH_INTENTS = 128
+
 #: The network replica a freshly forked worker inherits.  Set in the
-#: parent strictly for the duration of pool warm-up (the fork happens on
-#: the first task submission), consumed by :func:`_worker_init` in the
-#: child, and cleared on both sides immediately after.
+#: parent strictly while the worker processes are started (fork copies
+#: it into the child), consumed by :func:`_worker_init` in the child,
+#: and cleared on both sides immediately after.
 _FORK_NETWORK: Optional[SynchronousNetwork] = None
 
 #: Worker-side shard state, created once per process by _worker_init.
 _STATE: Optional["_WorkerState"] = None
 
 
+def resolve_data_plane(extra: Optional[dict]) -> str:
+    """Pick the coordinator↔worker carriage for this run.
+
+    ``extra["parallel_data_plane"]`` may force ``"shm"`` or ``"pickle"``;
+    the default (``"auto"``) prefers shared memory and falls back to the
+    pipe plane — loudly — when the host cannot provide it.
+    """
+    requested = (extra or {}).get("parallel_data_plane", "auto")
+    if requested == DATA_PLANE_PICKLE:
+        return DATA_PLANE_PICKLE
+    if shared_memory_available():
+        return DATA_PLANE_SHM
+    _LOG.warning(
+        "parallel engine: shared-memory data plane unavailable (%s); "
+        "using pickle pipe fallback",
+        shared_memory_unavailable_reason(),
+    )
+    return DATA_PLANE_PICKLE
+
+
+def planned_data_plane(
+    workers: Optional[int], extra: Optional[dict] = None
+) -> Optional[str]:
+    """The data plane a run with this shape would use, or ``None`` when
+    the parallel engine is not in play (single worker, no fork).  Pure —
+    no warnings — so stamps and bench entries can call it freely."""
+    if not workers or workers <= 1:
+        return None
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None  # pragma: no cover - POSIX containers always fork
+    requested = (extra or {}).get("parallel_data_plane", "auto")
+    if requested == DATA_PLANE_PICKLE:
+        return DATA_PLANE_PICKLE
+    return DATA_PLANE_SHM if shared_memory_available() else DATA_PLANE_PICKLE
+
+
 class _WorkerState:
     __slots__ = ("net", "shard", "nshards", "owned", "events", "traced",
-                 "timed")
+                 "timed", "bucket")
 
     net: SynchronousNetwork
     shard: int
@@ -96,6 +166,7 @@ class _WorkerState:
     events: Optional[List[object]]
     traced: bool
     timed: bool
+    bucket: str
 
 
 # A packed send intent, as shipped from workers to the coordinator:
@@ -139,11 +210,11 @@ def _pack_intent(
 
 
 # ----------------------------------------------------------------------
-# worker-side barrier handlers (run inside the forked shard processes)
+# worker-side phase handlers (run inside the forked shard processes)
 # ----------------------------------------------------------------------
 
-def _worker_init(shard: int, nshards: int) -> int:
-    """First task a freshly forked worker runs: claim the inherited
+def _worker_init(shard: int, nshards: int) -> None:
+    """First thing a freshly forked worker does: claim the inherited
     network replica and reduce it to this shard's view."""
     global _STATE, _FORK_NETWORK
     net = _FORK_NETWORK
@@ -158,9 +229,10 @@ def _worker_init(shard: int, nshards: int) -> int:
     st.nshards = nshards
     st.owned = [i for i in range(net.config.n) if i % nshards == shard]
     st.traced = net.tracer.enabled
-    # The worker replica's hooks are timed from the barrier handlers, not
-    # by the engine; buckets ship back per barrier as plain dicts.
+    # The worker replica's hooks are timed from the phase handlers, not
+    # by the engine; buckets ship back per phase as plain dicts.
     st.timed = net._timing is not None
+    st.bucket = "other"
     net._timing = None
     if PROFILER.enabled:
         # The fork copied the coordinator's profiling registry wholesale;
@@ -171,7 +243,7 @@ def _worker_init(shard: int, nshards: int) -> int:
         PROFILER.registry = MetricsRegistry()
     if st.traced:
         # Replace the inherited tracer (whose sinks may hold duplicated
-        # file handles) with a memory sink; events ship back per barrier.
+        # file handles) with a memory sink; events ship back per phase.
         tracer = Tracer.memory()
         net.tracer = tracer
         st.events = tracer.events
@@ -185,7 +257,6 @@ def _worker_init(shard: int, nshards: int) -> int:
     net._ack_queue_fast.clear()
     net._ack_digest_by_id.clear()
     _STATE = st
-    return shard
 
 
 def _check_no_stray_acks(net: SynchronousNetwork, hook: str) -> None:
@@ -197,12 +268,24 @@ def _check_no_stray_acks(net: SynchronousNetwork, hook: str) -> None:
         )
 
 
-def _worker_begin(rnd: int):
-    """Barrier 1: on_round_begin for owned live nodes, in node order.
+def _flush_staged(channel, staged: List[tuple], timed: bool) -> float:
+    """Stream one chunk of keyed staged intents home; returns the send
+    seconds (0.0 on untimed runs)."""
+    if timed:
+        t0 = perf_counter()
+        channel.send(("s", staged))
+        return perf_counter() - t0
+    channel.send(("s", staged))
+    return 0.0
 
-    The trailing element of every barrier handler's return is the shard's
-    timing payload — ``(busy_seconds, buckets)`` when the run is timed,
-    else ``None`` — so tuple shapes stay stable either way.
+
+def _worker_begin(channel, rnd: int) -> None:
+    """Phase 1: on_round_begin for owned live nodes, in node order.
+
+    Staged intents stream home in keyed chunks as nodes produce them;
+    the closing ``done`` frame carries voluntary halts, traced event
+    batches and the shard's timing payload — ``(busy_seconds, buckets)``
+    when the run is timed, else ``None``.
     """
     st = _STATE
     net = st.net
@@ -210,6 +293,7 @@ def _worker_begin(rnd: int):
     t_start = perf_counter() if timed else 0.0
     tmb: Optional[dict] = {} if timed else None
     handler_s = 0.0
+    send_s = 0.0
     net.current_round = rnd
     outbox = net._outbox_now
     events = st.events
@@ -236,6 +320,9 @@ def _worker_begin(rnd: int):
                 ((node_id, idx - obase),
                  _pack_intent(outbox[idx], rnd, net, tmb))
             )
+        if len(staged) >= _FLUSH_INTENTS:
+            send_s += _flush_staged(channel, staged, timed)
+            staged = []
         if events is not None and len(events) > ebase:
             batches.append((node_id, events[ebase:]))
     net._in_round_begin = False
@@ -243,20 +330,23 @@ def _worker_begin(rnd: int):
     if events is not None:
         events.clear()
     _check_no_stray_acks(net, "on_round_begin")
+    if staged:
+        send_s += _flush_staged(channel, staged, timed)
     timing = None
     if timed:
         tmb["handler"] = tmb.get("handler", 0.0) + handler_s
+        tmb[st.bucket] = tmb.get(st.bucket, 0.0) + send_s
         timing = (perf_counter() - t_start, tmb)
-    return halted, staged, batches, timing
+    channel.send(("d", (halted, batches, timing)))
 
 
-def _worker_deliver(blob: bytes):
-    """Barrier 2: dispatch the plan's members to owned receivers.
+def _worker_deliver(channel, rnd: int, packed: list) -> None:
+    """Phase 2: dispatch the plan's members to owned receivers.
 
-    Returns voluntary halts, per-(plan, target) omission keys for dead
-    owned receivers, the ACK wave (raw and keyed when traced, else
-    pre-aggregated link/credit counters), staged next-round intents and
-    traced event batches.
+    Next-round intents stream home in keyed chunks; the ``done`` frame
+    carries voluntary halts, per-(plan, target) omission keys for dead
+    owned receivers and the ACK wave (raw and keyed when traced, else
+    pre-aggregated link/credit counters).
     """
     st = _STATE
     net = st.net
@@ -264,7 +354,7 @@ def _worker_deliver(blob: bytes):
     t_start = perf_counter() if timed else 0.0
     tmb: Optional[dict] = {} if timed else None
     handler_s = 0.0
-    rnd, packed = pickle.loads(blob)
+    send_s = 0.0
     digest_by_id = net._ack_digest_by_id
     digest_by_id.clear()
     plan = []
@@ -315,6 +405,9 @@ def _worker_deliver(blob: bytes):
                     ((i, j, idx - obase),
                      _pack_intent(outbox[idx], next_rnd, net, tmb))
                 )
+            if len(staged) >= _FLUSH_INTENTS:
+                send_s += _flush_staged(channel, staged, timed)
+                staged = []
             if traced and len(events) > ebase:
                 batches.append(((i, j), events[ebase:]))
     link_counts: Dict[tuple, int] = {}
@@ -336,18 +429,24 @@ def _worker_deliver(blob: bytes):
     outbox.clear()
     if traced:
         events.clear()
+    if staged:
+        send_s += _flush_staged(channel, staged, timed)
     timing = None
     if timed:
         tmb["handler"] = tmb.get("handler", 0.0) + handler_s
+        tmb[st.bucket] = tmb.get(st.bucket, 0.0) + send_s
         timing = (perf_counter() - t_start, tmb)
-    return (
-        halted, omitted, link_counts, credits, total, raw_acks, staged,
-        batches, timing,
-    )
+    channel.send((
+        "d",
+        (halted, omitted, link_counts, credits, total, raw_acks, batches,
+         timing),
+    ))
 
 
-def _worker_end(rnd: int, halted_now: List[int], seconds: float):
-    """Barrier 3: apply divergence halts, run on_round_end, advance the
+def _worker_end(
+    channel, rnd: int, halted_now: List[int], seconds: float
+) -> None:
+    """Phase 3: apply divergence halts, run on_round_end, advance the
     shard's clock replica, and report decided / all-done state."""
     st = _STATE
     net = st.net
@@ -355,6 +454,7 @@ def _worker_end(rnd: int, halted_now: List[int], seconds: float):
     t_start = perf_counter() if timed else 0.0
     tmb: Optional[dict] = {} if timed else None
     handler_s = 0.0
+    send_s = 0.0
     for node_id in halted_now:
         enclave = net.nodes[node_id].enclave
         if not enclave.halted:
@@ -386,6 +486,9 @@ def _worker_end(rnd: int, halted_now: List[int], seconds: float):
                 ((node_id, idx - obase),
                  _pack_intent(outbox[idx], next_rnd, net, tmb))
             )
+        if len(staged) >= _FLUSH_INTENTS:
+            send_s += _flush_staged(channel, staged, timed)
+            staged = []
         if traced and len(events) > ebase:
             batches.append((node_id, events[ebase:]))
     outbox.clear()
@@ -401,15 +504,18 @@ def _worker_end(rnd: int, halted_now: List[int], seconds: float):
             decided += 1
         elif node.alive:
             all_done = False
+    if staged:
+        send_s += _flush_staged(channel, staged, timed)
     timing = None
     if timed:
         tmb["handler"] = tmb.get("handler", 0.0) + handler_s
+        tmb[st.bucket] = tmb.get(st.bucket, 0.0) + send_s
         timing = (perf_counter() - t_start, tmb)
-    return halted, staged, batches, decided, all_done, timing
+    channel.send(("d", (halted, batches, decided, all_done, timing)))
 
 
-def _worker_finish():
-    """Final barrier: on_protocol_end, then ship the terminal per-node
+def _worker_finish(channel) -> None:
+    """Final phase: on_protocol_end, then ship the terminal per-node
     state back as plain tuples.
 
     Plain tuples, not program objects: ``EnclaveProgram`` tracks its
@@ -460,56 +566,143 @@ def _worker_finish():
         profile = PROFILER.registry.dump()
     timing = (perf_counter() - t_start, {"handler": handler_s}) \
         if timed else None
-    return batches, final, profile, timing
+    channel.send(("d", (batches, final, profile, timing)))
+
+
+def _worker_main(shard: int, nshards: int, channel) -> None:
+    """Worker process entry: bind the channel, init the shard, then loop
+    on command frames until told to quit.  Any failure ships one ``"x"``
+    frame (the formatted traceback) home and exits non-zero; exit is via
+    ``os._exit`` so inherited file handles and shared mappings are never
+    double-flushed or double-closed by the child's teardown."""
+    status = 0
+    try:
+        channel.bind_worker()
+        _worker_init(shard, nshards)
+        _STATE.bucket = (
+            "shm" if channel.data_plane == DATA_PLANE_SHM else "serialize"
+        )
+        channel.send(("r", shard))
+        parent_pid = os.getppid()
+
+        def _parent_alive() -> None:
+            if os.getppid() != parent_pid:  # pragma: no cover - reparented
+                os._exit(3)
+
+        while True:
+            cmd = channel.recv(_parent_alive)
+            op = cmd[0]
+            if op == "b":
+                _worker_begin(channel, cmd[1])
+            elif op == "v":
+                _worker_deliver(channel, cmd[1], cmd[2])
+            elif op == "e":
+                _worker_end(channel, cmd[1], cmd[2], cmd[3])
+            elif op == "f":
+                _worker_finish(channel)
+            elif op == "q":
+                break
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown command {op!r}")
+    except BaseException:
+        status = 1
+        try:
+            channel.send(("x", traceback.format_exc()))
+        except Exception:  # pragma: no cover - channel gone too
+            pass
+    finally:
+        os._exit(status)
 
 
 # ----------------------------------------------------------------------
 # coordinator side
 # ----------------------------------------------------------------------
 
-class _ShardPool:
-    """P warm single-process executors, one per shard.
+class _ShardCrew:
+    """P forked worker processes, one duplex channel each.
 
-    Single-worker executors (rather than one P-worker pool) pin each
-    shard to one process for the whole run — the fixed shard→worker
-    assignment that keeps per-node RNG streams and caches deterministic.
+    Dedicated processes (rather than one P-worker pool) pin each shard
+    to one worker for the whole run — the fixed shard→worker assignment
+    that keeps per-node RNG streams and caches deterministic.
     """
 
-    def __init__(self, network: SynchronousNetwork, nshards: int) -> None:
+    def __init__(
+        self, network: SynchronousNetwork, nshards: int, data_plane: str
+    ) -> None:
         global _FORK_NETWORK
         ctx = multiprocessing.get_context("fork")
-        self.executors: List[ProcessPoolExecutor] = []
         # Flush any buffered tracer sinks: the children inherit open file
         # objects, and a non-empty write buffer would be flushed twice.
         for sink in network.tracer.sinks:
             fh = getattr(sink, "_fh", None)
             if fh is not None and not fh.closed:
                 fh.flush()
+        self.channels = make_channels(ctx, nshards, data_plane)
+        self.data_plane = (
+            self.channels[0].data_plane if self.channels else data_plane
+        )
+        self.procs: List[multiprocessing.process.BaseProcess] = []
         _FORK_NETWORK = network
         try:
-            for shard in range(nshards):
-                ex = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
-                self.executors.append(ex)
-                # Submitting forces the fork now, while the replica is
-                # exported; init runs in the fresh child.
-                ex.submit(_worker_init, shard, nshards).result()
+            for shard, channel in enumerate(self.channels):
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(shard, nshards, channel),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                proc.start()
+                self.procs.append(proc)
+            for shard, channel in enumerate(self.channels):
+                msg = channel.recv(self.check_alive)
+                if msg[0] != "r":
+                    self.raise_worker_error(shard, msg)
         except BaseException:
             self.shutdown()
             raise
         finally:
             _FORK_NETWORK = None
 
-    def broadcast(self, fn, *args) -> list:
-        futures = [ex.submit(fn, *args) for ex in self.executors]
-        return [future.result() for future in futures]
+    def broadcast_frame(self, blob: bytes) -> None:
+        for channel in self.channels:
+            channel.send_frame(blob)
+
+    def check_alive(self) -> None:
+        for shard, proc in enumerate(self.procs):
+            if not proc.is_alive():
+                raise RuntimeError(
+                    f"parallel engine: shard {shard} worker died "
+                    f"(exit code {proc.exitcode})"
+                )
+
+    def raise_worker_error(self, shard: int, msg) -> None:
+        if isinstance(msg, tuple) and msg and msg[0] == "x":
+            raise RuntimeError(
+                f"parallel engine: shard {shard} worker failed:\n{msg[1]}"
+            )
+        raise RuntimeError(  # pragma: no cover - protocol bug
+            f"parallel engine: unexpected frame from shard {shard}: {msg!r}"
+        )
 
     def shutdown(self) -> None:
-        for ex in self.executors:
-            ex.shutdown(wait=True, cancel_futures=True)
+        blob = pickle.dumps(("q",), _PKL)
+        for proc, channel in zip(self.procs, self.channels):
+            if proc.is_alive():
+                try:
+                    channel.send_frame(blob)
+                except Exception:  # pragma: no cover - ring torn down
+                    pass
+        for proc in self.procs:
+            proc.join(timeout=5)
+            if proc.is_alive():  # pragma: no cover - wedged worker
+                proc.terminate()
+                proc.join(timeout=5)
+        for channel in self.channels:
+            channel.close()
 
 
 class _Coordinator:
-    """Runs the round loop against a shard pool.
+    """Runs the round loop against a shard crew.
 
     The coordinator's own ``SynchronousNetwork`` acts as the *mirror*:
     its enclaves' liveness is kept in lockstep with the shards (worker
@@ -517,11 +710,14 @@ class _Coordinator:
     ``RunResult`` read the same state the serial engine would.
     """
 
-    def __init__(self, network: SynchronousNetwork, pool: _ShardPool) -> None:
+    def __init__(self, network: SynchronousNetwork, crew: _ShardCrew) -> None:
         self.net = network
-        self.pool = pool
+        self.crew = crew
         self.traced = network.tracer.enabled
         self.tm = network._timing
+        self.chan_bucket = (
+            "shm" if crew.data_plane == DATA_PLANE_SHM else "serialize"
+        )
         # Setup ran in the main process before the fork, so the round-1
         # emissions are staged here, not in any worker.
         intents = network._outbox_next
@@ -552,6 +748,106 @@ class _Coordinator:
             for event in events:
                 emit(event)
 
+    def _wave(self, blob: bytes, sink: List[tuple]):
+        """One streamed phase: broadcast a command frame, then drain the
+        shard channels until every shard's ``done`` frame has landed.
+
+        Streamed ``"s"`` chunks splice into ``sink`` the moment they
+        arrive — the incremental merge that replaces v1's
+        wait-then-merge barrier.  Returns ``(done_payloads, wall)`` with
+        payloads in shard order.
+
+        Timed runs split the wave wall four ways: channel time (send +
+        frame decode) into the data plane's bucket, splice time into
+        ``merge``, and the *blocked* residual into ``overlap`` up to the
+        busiest shard's in-phase busy time (that much of the wait bought
+        parallel compute) with only the remainder — true coordination
+        latency — charged to ``barrier``.
+        """
+        channels = self.crew.channels
+        nshards = len(channels)
+        done: List[Optional[tuple]] = [None] * nshards
+        remaining = nshards
+        tm = self.tm
+        if tm is None:
+            self.crew.broadcast_frame(blob)
+            step = 0
+            while remaining:
+                progress = False
+                for shard, channel in enumerate(channels):
+                    if done[shard] is not None:
+                        continue
+                    while True:
+                        msg = channel.try_recv()
+                        if msg is _NOTHING:
+                            break
+                        progress = True
+                        tag = msg[0]
+                        if tag == "s":
+                            sink.extend(msg[1])
+                        elif tag == "d":
+                            done[shard] = msg[1]
+                            remaining -= 1
+                            break
+                        else:
+                            self.crew.raise_worker_error(shard, msg)
+                if progress:
+                    step = 0
+                else:
+                    if step and step % 2048 == 0:
+                        self.crew.check_alive()
+                    _wait_spin(step)
+                    step += 1
+            return done, 0.0
+        t_wave = perf_counter()
+        self.crew.broadcast_frame(blob)
+        chan_s = perf_counter() - t_wave
+        merge_s = 0.0
+        step = 0
+        while remaining:
+            progress = False
+            for shard, channel in enumerate(channels):
+                if done[shard] is not None:
+                    continue
+                while True:
+                    t0 = perf_counter()
+                    msg = channel.try_recv()
+                    if msg is _NOTHING:
+                        break  # empty-poll cost stays in the blocked wall
+                    t1 = perf_counter()
+                    chan_s += t1 - t0
+                    progress = True
+                    tag = msg[0]
+                    if tag == "s":
+                        sink.extend(msg[1])
+                        merge_s += perf_counter() - t1
+                    elif tag == "d":
+                        done[shard] = msg[1]
+                        remaining -= 1
+                        break
+                    else:
+                        self.crew.raise_worker_error(shard, msg)
+            if progress:
+                step = 0
+            else:
+                if step and step % 2048 == 0:
+                    self.crew.check_alive()
+                _wait_spin(step)
+                step += 1
+        wall = perf_counter() - t_wave
+        busy_max = 0.0
+        for payload in done:
+            w_timing = payload[-1]
+            if w_timing is not None and w_timing[0] > busy_max:
+                busy_max = w_timing[0]
+        blocked = max(0.0, wall - chan_s - merge_s)
+        overlap = min(blocked, busy_max)
+        tm.add(self.chan_bucket, chan_s)
+        tm.add("merge", merge_s)
+        tm.add("overlap", overlap)
+        tm.add("barrier", blocked - overlap)
+        return done, wall
+
     # -- the round loop ------------------------------------------------
 
     def run(self, max_rounds: int) -> RunResult:
@@ -569,15 +865,15 @@ class _Coordinator:
         tracer = net.tracer
         traced = self.traced
         tm = self.tm
-        nshards = len(self.pool.executors)
+        nshards = len(self.crew.channels)
         if tm is not None:
             tm.start_round(rnd)
             # Coordinator buckets cover the coordinator's own wall only;
-            # the workers' in-barrier breakdowns accumulate here and
+            # the workers' in-phase breakdowns accumulate here and
             # attach per shard (busy + idle) when the round closes.
             shard_busy = [0.0] * nshards
             shard_buckets: List[dict] = [{} for _ in range(nshards)]
-            barrier_wall = 0.0
+            wave_wall = 0.0
         omissions_before = traffic.omissions
         rejections_before = traffic.rejections
         net._pending_handles.clear()
@@ -591,19 +887,16 @@ class _Coordinator:
         self.pending = []
         if traced:
             tracer.phase(rnd, "begin", count=len(outbox))
-        begin_events: List[tuple] = []
         begin_staged: List[tuple] = []
-        t0 = perf_counter() if tm is not None else 0.0
-        responses = self.pool.broadcast(_worker_begin, rnd)
+        responses, wall = self._wave(
+            pickle.dumps(("b", rnd), _PKL), begin_staged
+        )
         if tm is not None:
-            wall = perf_counter() - t0
-            tm.add("barrier", wall)
-            barrier_wall += wall
+            wave_wall += wall
             t0 = perf_counter()
-        for shard, (halted, staged, batches, w_timing) in \
-                enumerate(responses):
+        begin_events: List[tuple] = []
+        for shard, (halted, batches, w_timing) in enumerate(responses):
             self._apply_halts(halted, rnd)
-            begin_staged.extend(staged)
             begin_events.extend(batches)
             if w_timing is not None:
                 busy, buckets = w_timing
@@ -707,14 +1000,15 @@ class _Coordinator:
         if tm is not None:
             tm.add("merge", perf_counter() - t0)
 
-        # Phase 3: deliver.  One broadcast of the (packed) plan; the
-        # workers dispatch, the coordinator accounts.
+        # Phase 3: deliver.  The plan is pickled once and the same frame
+        # written into every shard's ring; the workers dispatch, the
+        # coordinator accounts.
         if traced:
             tracer.phase(rnd, "deliver", count=logical_count)
         t0 = perf_counter() if tm is not None else 0.0
         blob = pickle.dumps(
-            (rnd, [(s, raw, m, d) for s, raw, _res, m, _sz, d in plan]),
-            pickle.HIGHEST_PROTOCOL,
+            ("v", rnd, [(s, raw, m, d) for s, raw, _res, m, _sz, d in plan]),
+            _PKL,
         )
         if tm is not None:
             tm.add("serialize", perf_counter() - t0)
@@ -725,19 +1019,15 @@ class _Coordinator:
         credits: Dict[tuple, int] = {}
         ack_total = 0
         deliver_events: Dict[tuple, list] = {}
-        t0 = perf_counter() if tm is not None else 0.0
-        responses = self.pool.broadcast(_worker_deliver, blob)
+        responses, wall = self._wave(blob, deliver_staged)
         if tm is not None:
-            wall = perf_counter() - t0
-            tm.add("barrier", wall)
-            barrier_wall += wall
+            wave_wall += wall
             t0 = perf_counter()
         for shard, response in enumerate(responses):
             (halted, w_omitted, w_links, w_credits, w_total, w_raw,
-             staged, batches, w_timing) = response
+             batches, w_timing) = response
             self._apply_halts(halted, rnd)
             omitted.extend(w_omitted)
-            deliver_staged.extend(staged)
             if w_timing is not None:
                 busy, buckets = w_timing
                 shard_busy[shard] += busy
@@ -808,17 +1098,15 @@ class _Coordinator:
         end_events: List[tuple] = []
         decided = 0
         all_done = True
-        t0 = perf_counter() if tm is not None else 0.0
-        responses = self.pool.broadcast(_worker_end, rnd, halted_now, seconds)
+        responses, wall = self._wave(
+            pickle.dumps(("e", rnd, halted_now, seconds), _PKL), end_staged
+        )
         if tm is not None:
-            wall = perf_counter() - t0
-            tm.add("barrier", wall)
-            barrier_wall += wall
+            wave_wall += wall
             t0 = perf_counter()
-        for shard, (halted, staged, batches, w_decided, w_done, w_timing) in \
+        for shard, (halted, batches, w_decided, w_done, w_timing) in \
                 enumerate(responses):
             self._apply_halts(halted, rnd)
-            end_staged.extend(staged)
             end_events.extend(batches)
             decided += w_decided
             all_done = all_done and w_done
@@ -852,9 +1140,9 @@ class _Coordinator:
                 ))
             _LOG.debug(
                 "round %d: bytes=%d seconds=%.3f omissions=%d rejections=%d "
-                "live=%d decided=%d halted=%s [parallel x%d]",
+                "live=%d decided=%d halted=%s [parallel x%d %s]",
                 rnd, round_bytes, seconds, omissions, rejections,
-                live, decided, halted_now, len(self.pool.executors),
+                live, decided, halted_now, nshards, self.crew.data_plane,
             )
         if net._round_hook is not None:
             # Halts and liveness are mirrored into the coordinator, so the
@@ -871,7 +1159,7 @@ class _Coordinator:
             for shard in range(nshards):
                 busy = shard_busy[shard]
                 tm.record_shard(
-                    shard, busy, max(0.0, barrier_wall - busy),
+                    shard, busy, max(0.0, wave_wall - busy),
                     shard_buckets[shard],
                 )
             net._finish_round_timing(tm, rnd)
@@ -917,15 +1205,11 @@ class _Coordinator:
 
     def _finish(self) -> RunResult:
         net = self.net
-        tm = self.tm
         batches: List[tuple] = []
         final: Dict[int, tuple] = {}
-        t0 = perf_counter() if tm is not None else 0.0
-        responses = self.pool.broadcast(_worker_finish)
-        if tm is not None:
-            # No round is open any more, so this lands at run level: the
-            # finish barrier is engine overhead, like the fork itself.
-            tm.add("barrier", perf_counter() - t0)
+        # No round is open any more, so the wave's buckets land at run
+        # level: the finish handoff is engine overhead, like the fork.
+        responses, _wall = self._wave(pickle.dumps(("f",), _PKL), [])
         for w_batches, w_final, w_profile, _w_timing in responses:
             batches.extend(w_batches)
             for record in w_final:
@@ -967,31 +1251,39 @@ def run_parallel(
 ) -> Optional[RunResult]:
     """Run an eligible network on the sharded engine.
 
-    Returns ``None`` — *before* mutating any state — when worker
-    processes cannot be forked, in which case the caller runs the serial
-    engine instead.
+    Returns ``None`` — *before* mutating any state, and after logging
+    why — when worker processes cannot be forked, in which case the
+    caller runs the serial engine instead.
     """
     if "fork" not in multiprocessing.get_all_start_methods():
-        return None  # pragma: no cover - POSIX containers always fork
+        _LOG.warning(  # pragma: no cover - POSIX containers always fork
+            "parallel engine unavailable (no fork start method on this "
+            "platform); running serial"
+        )
+        return None  # pragma: no cover
+    data_plane = resolve_data_plane(network.config.extra)
     nshards = min(network.config.workers, network.config.n)
     tm = network._timing
     t0 = perf_counter() if tm is not None else 0.0
     try:
-        pool = _ShardPool(network, nshards)
-    except (OSError, BrokenProcessPool) as exc:  # pragma: no cover
+        crew = _ShardCrew(network, nshards, data_plane)
+    except OSError as exc:  # pragma: no cover - fork/shm exhaustion
         _LOG.warning("parallel engine unavailable (%s); running serial", exc)
         return None
+    # Recorded for stamps and tests: which carriage this run actually
+    # used ("shm" or "pickle").
+    network.parallel_data_plane = crew.data_plane
     if tm is not None:
         # Forking P replicas is the dominant fixed cost of a parallel
         # run; charge it to the run-level barrier bucket so short runs
         # still account for their measured wall.
         tm.add("barrier", perf_counter() - t0)
     try:
-        return _Coordinator(network, pool).run(max_rounds)
+        return _Coordinator(network, crew).run(max_rounds)
     finally:
         # Joining the workers is the tail half of the engine's fixed
         # cost; like the fork it lands in the run-level barrier bucket.
         t0 = perf_counter() if tm is not None else 0.0
-        pool.shutdown()
+        crew.shutdown()
         if tm is not None:
             tm.add("barrier", perf_counter() - t0)

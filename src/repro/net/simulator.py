@@ -610,6 +610,18 @@ class SynchronousNetwork:
                 result = run_parallel(self, max_rounds)
                 if result is not None:
                     return result
+            elif self.config.workers > 1 \
+                    and not getattr(self, "_warned_parallel_fallback", False):
+                # workers>1 was requested but the run is not eligible:
+                # say why, once, instead of silently going serial.
+                reason = self._parallel_fallback_reason()
+                if reason:
+                    self._warned_parallel_fallback = True
+                    _LOG.warning(
+                        "parallel engine disabled for this run (%s); "
+                        "running serial despite workers=%d",
+                        reason, self.config.workers,
+                    )
             envelope = self._envelope_fast_path
             if tm is not None:
                 tm.set_engine("envelope" if envelope else "serial")
@@ -644,6 +656,33 @@ class SynchronousNetwork:
             and self.transport.security is not ChannelSecurity.FULL
             and not self.config.extra.get("disable_parallel_engine", False)
         )
+
+    def _parallel_fallback_reason(self) -> Optional[str]:
+        """Why a ``workers > 1`` run executes serially, or ``None`` when
+        the fallback needs no warning (single node, or explicitly
+        disabled — an intentional choice, not a surprise).  Fork / shared
+        memory unavailability is reported by :func:`run_parallel` itself,
+        which can observe the actual failure."""
+        config = self.config
+        if config.n <= 1:
+            return None
+        if config.extra.get("disable_parallel_engine", False):
+            return None
+        if not all(node.behavior is None for node in self.nodes.values()):
+            return "adversarial OS behaviours require per-wire processing"
+        measurements = {
+            node.enclave.measurement for node in self.nodes.values()
+        }
+        if len(measurements) > 1:
+            return "heterogeneous program measurements"
+        if self.transport.security is ChannelSecurity.FULL:
+            return (
+                "FULL channel security draws per-link enclave RNG, which "
+                "a sharded run cannot reproduce byte-identically"
+            )
+        if not self._envelope_fast_path:
+            return "envelope fast path disabled via config extra"
+        return None  # pragma: no cover - eligible runs never ask
 
     def _setup(self) -> None:
         self.current_round = 0
@@ -1107,17 +1146,24 @@ class SynchronousNetwork:
         plan: List[Tuple[NodeId, Tuple[NodeId, ...], ProtocolMessage, int]] = []
         per_sender: Dict[NodeId, List[tuple]] = {}
         logical_count = 0
-        digest_s = serialize_s = 0.0
-        for intent in self._outbox_now:
-            if not nodes[intent.sender].alive:
-                continue
-            message = intent.message.with_round(rnd)
-            if tm is None:
-                digest = self._ack_digest(_multicast_key(message))
-            else:
-                t0 = perf_counter()
-                digest = self._ack_digest(_multicast_key(message))
-                digest_s += perf_counter() - t0
+        serialize_s = 0.0
+        # Digest pre-pass: stamp and hash the wave's staged multicasts in
+        # one tight sweep (attribute lookups hoisted) instead of a digest
+        # call interleaved per intent.  Liveness cannot change during
+        # transmit (no handlers run), and cache insertions happen in the
+        # serial per-intent order, so the digest LRU state — and every
+        # digest value — stays byte-identical.
+        t0 = perf_counter() if tm is not None else 0.0
+        ack_digest = self._ack_digest
+        staged = [
+            (intent, intent.message.with_round(rnd))
+            for intent in self._outbox_now
+            if nodes[intent.sender].alive
+        ]
+        digests = [ack_digest(_multicast_key(message)) for _, message in staged]
+        if tm is not None:
+            tm.add("batch_crypto", perf_counter() - t0)
+        for (intent, message), digest in zip(staged, digests):
             if intent.expect_acks:
                 self._pending_handles[(intent.sender, digest)] = MulticastHandle(
                     sender=intent.sender,
@@ -1177,12 +1223,12 @@ class SynchronousNetwork:
                         ))
         self._outbox_now = []
         if tm is not None:
-            tm.add("digest", digest_s)
             tm.add("serialize", serialize_s)
 
         # Seal one envelope per link.  Counters advance per member, so
         # channel state stays interchangeable with the per-wire path.
         t0 = perf_counter() if tm is not None else 0.0
+        batch_s = 0.0
         envelopes: List[Envelope] = []
         overhead = CHANNEL_OVERHEAD_BYTES
         for sender, entries in per_sender.items():
@@ -1218,10 +1264,19 @@ class SynchronousNetwork:
                 env_size = (
                     sum(e[2] for e in entries) - overhead * (len(entries) - 1)
                 )
-                for receiver in first_targets:
-                    envelopes.append(transport.seal_envelope(
-                        sender, receiver, members, size=env_size
+                # One vectorized seal pass for the whole wave: the same
+                # member list crosses every link, so the transport hoists
+                # the guard / measurement / row lookups out of the loop.
+                if tm is None:
+                    envelopes.extend(transport.seal_envelope_wave(
+                        sender, first_targets, members, size=env_size
                     ))
+                else:
+                    t1 = perf_counter()
+                    envelopes.extend(transport.seal_envelope_wave(
+                        sender, first_targets, members, size=env_size
+                    ))
+                    batch_s += perf_counter() - t1
                 traffic.record_envelopes(
                     len(first_targets), env_size * len(first_targets)
                 )
@@ -1247,23 +1302,31 @@ class SynchronousNetwork:
                             rnd, sender, receiver, len(members), env_size
                         )
         if tm is not None:
-            tm.add("seal", perf_counter() - t0)
+            tm.add("seal", perf_counter() - t0 - batch_s)
+            tm.add("batch_crypto", batch_s)
 
         # Phase 3: deliver.  Open each live receiver's envelopes (the
         # link-level integrity / freshness checks, and for FULL the single
-        # AEAD open), then dispatch members in plan order.
+        # AEAD open) grouped per receiver — one guard / accepted-row
+        # borrow per receiver instead of per envelope; every link appears
+        # at most once per round, so regrouping cannot reorder any
+        # per-link counter sequence — then dispatch members in plan order.
         if traced:
             tracer.phase(rnd, "deliver", count=logical_count)
         t0 = perf_counter() if tm is not None else 0.0
         opened: Dict[Tuple[NodeId, NodeId], deque] = {}
+        inbound: Dict[NodeId, List[Envelope]] = {}
         for env in envelopes:
             if not nodes[env.receiver].alive:
                 continue  # per-member omissions are recorded in dispatch
-            members = transport.open_envelope(env.receiver, env)
+            inbound.setdefault(env.receiver, []).append(env)
+        for receiver, batch in inbound.items():
+            opened_members = transport.open_envelope_wave(receiver, batch)
             if full:
-                opened[(env.sender, env.receiver)] = deque(members)
+                for env, members in zip(batch, opened_members):
+                    opened[(env.sender, receiver)] = deque(members)
         if tm is not None:
-            tm.add("open", perf_counter() - t0)
+            tm.add("batch_crypto", perf_counter() - t0)
         n = self.config.n
         dispatch = [None] * n
         for node_id in range(n):

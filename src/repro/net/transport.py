@@ -108,6 +108,39 @@ class Transport:
         e.g. the modeled ACK wave).  Raises like :meth:`read`."""
         raise NotImplementedError
 
+    def seal_envelope_wave(
+        self,
+        sender: NodeId,
+        receivers: Sequence[NodeId],
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> List[Envelope]:
+        """Seal the *same* member set for many receivers in one pass.
+
+        Equivalent to calling :meth:`seal_envelope` once per receiver in
+        order (identical envelopes, counter advances and RNG draws) —
+        subclasses override it to hoist the per-wave work (guard,
+        measurement/row lookups, body encoding) out of the per-link
+        loop.  This is the engine's common case: a round's coalesced
+        traffic from one sender goes to its whole neighbour set.
+        """
+        return [
+            self.seal_envelope(sender, receiver, members,
+                               count=count, size=size)
+            for receiver in receivers
+        ]
+
+    def open_envelope_wave(
+        self, receiver: NodeId, envelopes: Sequence[Envelope]
+    ) -> List[Optional[Tuple[ProtocolMessage, ...]]]:
+        """Open one receiver's batch of envelopes in one pass.
+
+        Equivalent to calling :meth:`open_envelope` per envelope in
+        order, including raising on the first bad one."""
+        return [self.open_envelope(receiver, env) for env in envelopes]
+
     def message_size(self, message: ProtocolMessage) -> int:
         """Wire size of ``message`` (computed once per multicast)."""
         return modeled_wire_size(message)
@@ -207,6 +240,47 @@ class FullTransport(Transport):
         enclave.guard()
         channel = self._table.get(envelope.sender, receiver)
         return channel.read_envelope(receiver, envelope)
+
+    def seal_envelope_wave(
+        self,
+        sender: NodeId,
+        receivers: Sequence[NodeId],
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> List[Envelope]:
+        # Encode every member body once for the whole wave (per-link
+        # seal_envelope re-encodes per receiver); guard / RNG handle /
+        # measurement hoist out too.  ``rdrand.rng()`` returns the stream
+        # object without drawing, so one lookup is byte-identical to one
+        # per receiver.
+        assert members is not None
+        encoded_bodies = [encode(m.to_tuple()) for m in members]
+        enclave = self._enclaves[sender]
+        enclave.guard()
+        rng = enclave.rdrand.rng()
+        measurement = enclave.measurement
+        table = self._table
+        return [
+            table.get(sender, receiver).write_envelope(
+                sender, encoded_bodies, rng, measurement
+            )
+            for receiver in receivers
+        ]
+
+    def open_envelope_wave(
+        self, receiver: NodeId, envelopes: Sequence[Envelope]
+    ) -> List[Optional[Tuple[ProtocolMessage, ...]]]:
+        enclave = self._enclaves[receiver]
+        enclave.guard()
+        table = self._table
+        return [
+            table.get(envelope.sender, receiver).read_envelope(
+                receiver, envelope
+            )
+            for envelope in envelopes
+        ]
 
 
 class ModeledTransport(Transport):
@@ -351,6 +425,67 @@ class ModeledTransport(Transport):
         accepted[sender] = envelope.counter
         return envelope.members
 
+    def seal_envelope_wave(
+        self,
+        sender: NodeId,
+        receivers: Sequence[NodeId],
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> List[Envelope]:
+        # One guard, one measurement lookup and one counter-row borrow
+        # for the whole wave; counters advance per link exactly as the
+        # per-receiver calls would.
+        self._enclaves[sender].guard()
+        k = count if count is not None else len(members)
+        env_size = size if size is not None else 0
+        row = self._send[sender]
+        measurement = self._measurements[sender]
+        envelopes: List[Envelope] = []
+        append = envelopes.append
+        for receiver in receivers:
+            counter = row[receiver] + k
+            row[receiver] = counter
+            append(Envelope(
+                sender=sender,
+                receiver=receiver,
+                counter=counter,
+                size=env_size,
+                count=k,
+                members=members,
+                member_measurement=measurement,
+            ))
+        return envelopes
+
+    def open_envelope_wave(
+        self, receiver: NodeId, envelopes: Sequence[Envelope]
+    ) -> List[Optional[Tuple[ProtocolMessage, ...]]]:
+        # Hoist the receiver-side guard, measurement and accepted-row
+        # lookups; per-envelope checks (routing, binding, freshness) run
+        # in order and raise exactly where the serial loop would.
+        self._enclaves[receiver].guard()
+        expected = self._measurements[receiver]
+        accepted = self._accepted[receiver]
+        out: List[Optional[Tuple[ProtocolMessage, ...]]] = []
+        append = out.append
+        for envelope in envelopes:
+            if envelope.receiver != receiver:
+                raise IntegrityError("envelope routed to the wrong node")
+            if envelope.member_measurement != expected:
+                raise IntegrityError(
+                    "message bound to a different program (H(pi) mismatch)"
+                )
+            sender = envelope.sender
+            if envelope.counter <= accepted[sender]:
+                raise ReplayError(
+                    f"stale envelope counter {envelope.counter} from "
+                    f"{sender} (highest accepted {accepted[sender]})"
+                )
+            accepted[sender] = envelope.counter
+            append(envelope.members)
+        return out
+
 
 class PlainTransport(Transport):
     """No security at all — Algorithm 1's world, for attack demos only."""
@@ -448,3 +583,37 @@ class PlainTransport(Transport):
         self._enclaves[receiver].guard()
         # No verification of any kind: Algorithm 1's world.
         return envelope.members
+
+    def seal_envelope_wave(
+        self,
+        sender: NodeId,
+        receivers: Sequence[NodeId],
+        members: Optional[Sequence[ProtocolMessage]],
+        *,
+        count: Optional[int] = None,
+        size: Optional[int] = None,
+    ) -> List[Envelope]:
+        self._enclaves[sender].guard()
+        k = count if count is not None else len(members)
+        env_size = size if size is not None else 0
+        counter = self._counter
+        envelopes: List[Envelope] = []
+        for receiver in receivers:
+            counter += k
+            envelopes.append(Envelope(
+                sender=sender,
+                receiver=receiver,
+                counter=counter,
+                size=env_size,
+                count=k,
+                members=members,
+                opaque=False,
+            ))
+        self._counter = counter
+        return envelopes
+
+    def open_envelope_wave(
+        self, receiver: NodeId, envelopes: Sequence[Envelope]
+    ) -> List[Optional[Tuple[ProtocolMessage, ...]]]:
+        self._enclaves[receiver].guard()
+        return [envelope.members for envelope in envelopes]

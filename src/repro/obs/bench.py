@@ -6,8 +6,9 @@ newest entry against the best *comparable* prior entry and fails loudly
 on a real regression:
 
 * two entries are comparable only when both carry a machine stamp
-  (:mod:`repro.obs.machine`) and agree on ``cpu_count``, ``workers`` and
-  ``scale`` — numbers measured on different hardware or sweep sizes are
+  (:mod:`repro.obs.machine`) and agree on ``cpu_count``, ``workers``,
+  ``scale`` and the parallel engine's ``data_plane`` — numbers measured
+  on different hardware, sweep sizes or coordinator transports are
   anecdotes, not evidence, and are never compared;
 * a case regresses when its newest ``messages_per_sec`` falls more than
   ``threshold`` (default 15%) below the best comparable prior run of the
@@ -35,12 +36,20 @@ _STAMP_KEYS = ("cpu_count", "workers", "scale")
 
 
 def entries_comparable(newest: Dict, prior: Dict) -> bool:
-    """Whether ``prior``'s numbers are evidence about ``newest``'s."""
+    """Whether ``prior``'s numbers are evidence about ``newest``'s.
+
+    The engine data plane (``shm`` vs ``pickle``) is a comparability
+    axis too: parallel throughput through shared-memory rings and
+    through pickle pipes are different quantities, so a v2 entry never
+    regress-compares against a v1 stamp.  Unlike the machine-shape keys
+    the field may legitimately be absent (entries predating it, serial
+    runs) — two entries without it remain comparable.
+    """
     for key in _STAMP_KEYS:
         a, b = newest.get(key), prior.get(key)
         if a is None or b is None or a != b:
             return False
-    return True
+    return newest.get("data_plane") == prior.get("data_plane")
 
 
 @dataclass
@@ -89,9 +98,10 @@ def check_history(
         if isinstance(entry.get("cases"), dict)
         and entries_comparable(newest, entry)
     ]
-    stamp = ", ".join(
-        f"{key}={newest.get(key)}" for key in ("git_rev",) + _STAMP_KEYS
-    )
+    stamp_keys = ("git_rev",) + _STAMP_KEYS
+    if newest.get("data_plane") is not None:
+        stamp_keys += ("data_plane",)
+    stamp = ", ".join(f"{key}={newest.get(key)}" for key in stamp_keys)
     lines = [
         f"bench gate: newest entry {newest.get('timestamp', '?')} ({stamp})",
         f"bench gate: {len(priors)} comparable prior entr"

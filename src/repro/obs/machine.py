@@ -33,11 +33,14 @@ def git_revision() -> Optional[str]:
     return rev if out.returncode == 0 and rev else None
 
 
-def machine_stamp(workers: Optional[int] = None) -> Dict:
+def machine_stamp(
+    workers: Optional[int] = None, data_plane: Optional[str] = None
+) -> Dict:
     """Provenance fields for persisted measurements.
 
     Timestamp-only entries from different machines are incomparable;
-    stamping the git rev, CPU count and worker count makes a history
+    stamping the git rev, CPU count, worker count and — for parallel
+    runs — the engine data plane ("shm" or "pickle") makes a history
     line reproducible evidence rather than an anecdote.
     """
     stamp: Dict = {
@@ -46,6 +49,8 @@ def machine_stamp(workers: Optional[int] = None) -> Dict:
     }
     if workers is not None:
         stamp["workers"] = workers
+    if data_plane is not None:
+        stamp["data_plane"] = data_plane
     return stamp
 
 
@@ -54,12 +59,15 @@ def stamps_comparable(a: Dict, b: Dict) -> bool:
 
     Comparable means same CPU count and same worker count (and both
     actually stamped) — the two parameters that change what a throughput
-    number physically means.  Git revs are expected to differ; that is
-    the regression being looked for.
+    number physically means.  Parallel entries additionally key on the
+    engine data plane: a shared-memory number is no evidence about a
+    pickle-pipe number (entries from before the field existed carry no
+    ``data_plane`` and stay comparable with each other).  Git revs are
+    expected to differ; that is the regression being looked for.
     """
     for key in ("cpu_count", "workers"):
         if a.get(key) is None or b.get(key) is None:
             return False
         if a[key] != b[key]:
             return False
-    return True
+    return a.get("data_plane") == b.get("data_plane")

@@ -11,8 +11,19 @@ engine's cost centres:
 ``handler``    protocol hook execution (``on_round_begin`` /
                ``on_message`` / ``on_round_end`` / setup and finish)
 ``ack_wave``   the phase-4 ACK aggregation and crediting
-``barrier``    parallel engine only: coordinator wall time spent inside
-               ``pool.broadcast`` (worker fork/warm-up included)
+``batch_crypto``  wave-batched envelope sealing / opening and digest
+               pre-passes (the vectorized fast path; per-link crypto
+               stays in ``seal``/``open``/``digest``)
+``shm``        parallel engine only: shared-memory data-plane traffic —
+               frame writes, polls that landed a frame, and frame
+               decode (the pickle pipe fallback charges ``serialize``)
+``barrier``    parallel engine only: coordinator wall blocked on worker
+               phases *beyond* any shard's concurrent busy time (true
+               coordination latency; worker fork/join included)
+``overlap``    parallel engine only: coordinator wall blocked on worker
+               phases *while* at least one shard was computing — the
+               parallelized work the coordinator was waiting for, not
+               coordination overhead
 ``merge``      parallel engine only: splicing staged intents / events
                back into serial order and replaying the transmit plan
 ``other``      the round's measured residual (engine bookkeeping not
@@ -44,7 +55,10 @@ PHASE_BUCKETS = (
     "serialize",
     "handler",
     "ack_wave",
+    "batch_crypto",
+    "shm",
     "barrier",
+    "overlap",
     "merge",
     "other",
 )

@@ -5,7 +5,9 @@ exit 0 on pass, 1 when the newest ``BENCH_*.json`` entry regresses more
 than the threshold against the best *comparable* prior entry, 2 when the
 history is structurally unusable.  Comparable means both entries are
 stamped and agree on cpu_count, workers and scale — numbers from
-different machine shapes are never compared.
+different machine shapes are never compared — and on the parallel
+engine's data_plane, where absence on both sides (pre-v2 history,
+serial runs) is the one None that stays comparable.
 """
 
 from __future__ import annotations
@@ -57,6 +59,32 @@ class TestComparability:
              "git_rev": "aaa"}
         b = dict(a, git_rev="bbb")
         assert entries_comparable(a, b)
+
+    def test_differing_data_plane_breaks_comparability(self):
+        """shm and pickle-pipe throughput are different quantities; a v2
+        entry must never regress-compare against a v1 stamp."""
+        a = {"cpu_count": 4, "workers": 2, "scale": "default",
+             "data_plane": "shm"}
+        assert not entries_comparable(a, dict(a, data_plane="pickle"))
+
+    def test_stamped_data_plane_vs_unstamped_breaks_comparability(self):
+        a = {"cpu_count": 4, "workers": 2, "scale": "default",
+             "data_plane": "shm"}
+        b = {"cpu_count": 4, "workers": 2, "scale": "default"}
+        assert not entries_comparable(a, b)
+        assert not entries_comparable(b, a)
+
+    def test_entries_without_data_plane_stay_comparable(self):
+        """Unlike the machine-shape keys, absence on *both* sides is fine
+        — history predating the field must keep gating itself."""
+        a = {"cpu_count": 4, "workers": 2, "scale": "default"}
+        assert entries_comparable(a, dict(a))
+        assert entries_comparable(a, dict(a, data_plane=None))
+
+    def test_matching_data_plane_stays_comparable(self):
+        a = {"cpu_count": 4, "workers": 2, "scale": "default",
+             "data_plane": "shm"}
+        assert entries_comparable(a, dict(a))
 
 
 class TestGate:

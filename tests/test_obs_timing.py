@@ -204,10 +204,28 @@ class TestMetaEvent:
         from repro.obs.events import event_from_dict, event_to_dict
         from repro.obs.machine import machine_stamp
 
-        event = MetaEvent(machine=machine_stamp(workers=2))
+        event = MetaEvent(machine=machine_stamp(workers=2, data_plane="shm"))
         payload = event_to_dict(event)
         assert payload["kind"] == "meta"
         rebuilt = event_from_dict(payload)
         assert rebuilt == event
         assert rebuilt.machine["workers"] == 2
+        assert rebuilt.machine["data_plane"] == "shm"
         assert rebuilt.machine["cpu_count"] is not None
+
+    def test_stamp_omits_absent_fields(self):
+        from repro.obs.machine import machine_stamp, stamps_comparable
+
+        stamp = machine_stamp()
+        assert "workers" not in stamp and "data_plane" not in stamp
+        assert stamps_comparable(
+            machine_stamp(workers=2), machine_stamp(workers=2)
+        )
+        assert not stamps_comparable(
+            machine_stamp(workers=2, data_plane="shm"),
+            machine_stamp(workers=2, data_plane="pickle"),
+        )
+        assert not stamps_comparable(
+            machine_stamp(workers=2, data_plane="shm"),
+            machine_stamp(workers=2),
+        )

@@ -17,13 +17,22 @@ regressions that would make the figure sweeps impractical:
   parallel engine, and the sharded vs serial ERNG N = 64 comparison that
   records ``parallel_speedup_vs_serial`` (worker count set by
   ``REPRO_BENCH_WORKERS``, default 4);
+* the optimized ERNG at N = 4096 (the sparse scheduler's headline
+  protocol case — the CI scaling smoke runs exactly this one);
+* the active-set round-loop microbench: a 24-member cluster chattering
+  inside an N = 4096 network, sparse vs dense scheduling on byte-equal
+  observables, recording ``round_loop_speedup_sparse`` (>= 3x asserted
+  outside smoke);
+* pb-ERB at N = 16384 (full scale only): the sampled broadcast must
+  complete with O(N log N) recorded link crossings;
 * FULL-crypto channel write/read round trip.
 
 History entries in ``BENCH_engine.json`` are stamped with the git rev,
-CPU count, worker count and engine data plane (shm vs pickle) so numbers
-from different machines or data planes stay comparable; set
-``REPRO_BENCH_PROFILE_OUT=<dir>`` to drop ``pstats`` profiles of the
-engine cases alongside the metrics sidecars.
+CPU count, worker count, engine data plane (shm vs pickle) and — when
+``REPRO_BENCH_SCHEDULER`` forces a round-scheduler mode — the scheduler,
+so numbers from different machines, data planes or scheduler modes stay
+comparable; set ``REPRO_BENCH_PROFILE_OUT=<dir>`` to drop ``pstats``
+profiles of the engine cases alongside the metrics sidecars.
 
 The engine cases persist rounds/sec and messages/sec into
 ``benchmarks/results/engine_throughput.json`` and append one entry to the
@@ -42,6 +51,7 @@ from time import perf_counter
 import pytest
 from bench_common import (
     SCALE,
+    SCHEDULER,
     WORKERS,
     machine_stamp,
     maybe_profile,
@@ -50,7 +60,10 @@ from bench_common import (
 )
 
 from repro import SimulationConfig, run_erb, run_erng
+from repro.core.erng_optimized import ClusterConfig, run_optimized_erng
+from repro.core.pb_erb import PbErbConfig, run_pb_erb
 from repro.net.parallel import planned_data_plane
+from repro.net.simulator import SynchronousNetwork
 from repro.obs import NullSink, Tracer
 from repro.channel.peer_channel import SecureChannel
 from repro.common.config import ChannelSecurity
@@ -67,6 +80,15 @@ BENCH_FILE = Path(__file__).parent.parent / "BENCH_engine.json"
 #: Engine timing rows accumulated by the tests in this module; every
 #: update re-persists the whole dict so partial runs still leave a file.
 _ENGINE_ROWS: dict = {}
+
+
+def _sched_extra(extra: dict = None) -> dict:
+    """Engine ``extra`` with the forced scheduler mode merged in (the
+    ``REPRO_BENCH_SCHEDULER`` knob); engine ``auto`` when unset."""
+    merged = dict(extra or {})
+    if SCHEDULER is not None:
+        merged["scheduler"] = SCHEDULER
+    return merged
 
 
 def _time_best(fn, repeats: int = 3):
@@ -103,7 +125,9 @@ def _persist_engine_rows() -> None:
         "timestamp": _SESSION_STAMP,
         "scale": SCALE,
         **machine_stamp(
-            workers=WORKERS, data_plane=planned_data_plane(WORKERS, {})
+            workers=WORKERS,
+            data_plane=planned_data_plane(WORKERS, {}),
+            scheduler=SCHEDULER,
         ),
         "cases": dict(_ENGINE_ROWS),
     }
@@ -137,6 +161,14 @@ def _persist_engine_rows() -> None:
             entry["erb_parallel_speedup_vs_serial"] = round(
                 erb_par["messages_per_sec"] / erb_ser["messages_per_sec"], 3
             )
+    loop_sparse = _ENGINE_ROWS.get("round_loop_n4096_sparse")
+    loop_dense = _ENGINE_ROWS.get("round_loop_n4096_dense")
+    if loop_sparse and loop_dense and loop_sparse["seconds"] > 0:
+        # Same messages either way, so the wall-time ratio IS the
+        # round-loop speedup (the sparse scheduler's headline number).
+        entry["round_loop_speedup_sparse"] = round(
+            loop_dense["seconds"] / loop_sparse["seconds"], 3
+        )
     try:
         payload = json.loads(BENCH_FILE.read_text())
     except (OSError, ValueError):
@@ -170,7 +202,8 @@ def test_engine_erb_n256_modeled():
 
     def run():
         result = run_erb(
-            SimulationConfig(n=n, seed=22), initiator=0, message=b"perf-256"
+            SimulationConfig(n=n, seed=22, extra=_sched_extra()),
+            initiator=0, message=b"perf-256",
         )
         assert result.rounds_executed == 2
         return result
@@ -187,13 +220,15 @@ def test_engine_fanout_vs_legacy_n64():
 
     def fanout():
         return run_erb(
-            SimulationConfig(n=64, seed=20), initiator=0, message=b"perf"
+            SimulationConfig(n=64, seed=20, extra=_sched_extra()),
+            initiator=0, message=b"perf",
         )
 
     def legacy():
         return run_erb(
             SimulationConfig(
-                n=64, seed=20, extra={"disable_fanout_fast_path": True}
+                n=64, seed=20,
+                extra=_sched_extra({"disable_fanout_fast_path": True}),
             ),
             initiator=0,
             message=b"perf",
@@ -235,7 +270,7 @@ def test_engine_erng_n64_modeled():
     not sweep practically."""
 
     def run():
-        result = run_erng(SimulationConfig(n=64, seed=21))
+        result = run_erng(SimulationConfig(n=64, seed=21, extra=_sched_extra()))
         assert len(set(result.outputs.values())) == 1
         assert result.rounds_executed == 2
         return result
@@ -257,21 +292,22 @@ def test_engine_erng_envelope_vs_legacy():
     the BENCH_engine.json history (the PR's acceptance number)."""
 
     def envelope():
-        return run_erng(SimulationConfig(n=64, seed=21))
+        return run_erng(SimulationConfig(n=64, seed=21, extra=_sched_extra()))
 
     def fanout():
         return run_erng(SimulationConfig(
-            n=64, seed=21, extra={"disable_envelope_fast_path": True}
+            n=64, seed=21,
+            extra=_sched_extra({"disable_envelope_fast_path": True}),
         ))
 
     def legacy():
         return run_erng(SimulationConfig(
             n=64,
             seed=21,
-            extra={
+            extra=_sched_extra({
                 "disable_envelope_fast_path": True,
                 "disable_fanout_fast_path": True,
-            },
+            }),
         ))
 
     repeats = 1 if SCALE == "smoke" else 3
@@ -309,7 +345,9 @@ def test_engine_erb_n1024():
 
     def run():
         result = run_erb(
-            SimulationConfig(n=n, seed=24, workers=WORKERS),
+            SimulationConfig(
+                n=n, seed=24, workers=WORKERS, extra=_sched_extra()
+            ),
             initiator=0,
             message=b"perf-1024",
         )
@@ -318,7 +356,8 @@ def test_engine_erb_n1024():
 
     def serial():
         result = run_erb(
-            SimulationConfig(n=n, seed=24), initiator=0, message=b"perf-1024"
+            SimulationConfig(n=n, seed=24, extra=_sched_extra()),
+            initiator=0, message=b"perf-1024",
         )
         assert result.rounds_executed == 2
         return result
@@ -357,7 +396,9 @@ def test_engine_erb_n8192_feasibility():
 
     def run():
         result = run_erb(
-            SimulationConfig(n=n, seed=26, workers=WORKERS),
+            SimulationConfig(
+                n=n, seed=26, workers=WORKERS, extra=_sched_extra()
+            ),
             initiator=0,
             message=b"perf-8192",
         )
@@ -382,10 +423,12 @@ def test_engine_erng_n64_parallel_vs_serial():
     """
 
     def parallel():
-        return run_erng(SimulationConfig(n=64, seed=21, workers=WORKERS))
+        return run_erng(SimulationConfig(
+            n=64, seed=21, workers=WORKERS, extra=_sched_extra()
+        ))
 
     def serial():
-        return run_erng(SimulationConfig(n=64, seed=21))
+        return run_erng(SimulationConfig(n=64, seed=21, extra=_sched_extra()))
 
     repeats = 1 if SCALE == "smoke" else 3
     with maybe_profile("erng_n64_parallel"):
@@ -418,6 +461,137 @@ def test_engine_erng_n64_parallel_vs_serial():
             f"parallel path only {ser_seconds / par_seconds:.2f}x faster "
             f"({WORKERS} workers on {cores} cores)"
         )
+
+
+def test_engine_erng_opt_n4096():
+    """The optimized ERNG at N = 4096 — four times the paper's maximum —
+    on the serial path with the sparse active-set scheduler (auto).  The
+    CI scaling smoke runs exactly this case: it must stay feasible at
+    smoke scale, which is why N is not scaled down."""
+    n = 4096
+
+    def run():
+        result = run_optimized_erng(
+            SimulationConfig(n=n, t=n // 3, seed=30, extra=_sched_extra()),
+            cluster=ClusterConfig(),
+        )
+        assert len(set(result.outputs.values())) == 1
+        return result
+
+    repeats = 1 if SCALE == "smoke" else 2
+    with maybe_profile(f"erng_opt_n{n}"):
+        seconds, result = _time_best(run, repeats=repeats)
+    _record_engine_case(f"erng_opt_n{n}", n, seconds, result)
+
+
+class _ClusterChatterProgram(EnclaveProgram):
+    """A K-member cluster rings messages inside an otherwise idle
+    network: the workload shape the active-set scheduler exists for
+    (optimized-ERNG committees, sampled gossip).  Idle nodes sleep until
+    the final round, where every node accepts."""
+
+    PROGRAM_NAME = "bench-chatter"
+    SPARSE_AWARE = True
+
+    def __init__(self, node_id, members, rounds):
+        super().__init__()
+        self.node_id = node_id
+        self.members = members
+        self.rounds = rounds
+        self.chatty = node_id in members
+        if self.chatty:
+            index = members.index(node_id)
+            self.next_member = members[(index + 1) % len(members)]
+
+    def on_round_begin(self, ctx):
+        if self.chatty and ctx.round <= self.rounds:
+            ctx.multicast(
+                ProtocolMessage(
+                    MessageType.ECHO, 0, 1, b"chat", 0, "bench-chatter"
+                ),
+                targets=[self.next_member],
+                expect_acks=False,
+            )
+
+    def on_round_end(self, ctx):
+        if ctx.round >= self.rounds and not self.has_output:
+            self._accept(ctx, b"done")
+
+    def sparse_wake_round(self, rnd):
+        if self.has_output:
+            return None
+        return rnd + 1 if self.chatty else max(rnd + 1, self.rounds)
+
+
+def test_engine_round_loop_n4096_sparse_vs_dense():
+    """The sparse scheduler's headline number: a 24-member cluster
+    chatters for R rounds inside N = 4096 nodes.  Message work is
+    identical either way, so the wall-time ratio isolates the round
+    loop; sparse must be >= 3x dense outside smoke (it skips ~99% of
+    the per-round node visits).  Observables must be byte-equal."""
+    n = 4096
+    rounds = pick(16, 128, 128)
+    members = tuple(range(0, n, n // 24))
+
+    def run(scheduler):
+        config = SimulationConfig(
+            n=n, seed=33, extra={"scheduler": scheduler}
+        )
+        network = SynchronousNetwork(
+            config, lambda i: _ClusterChatterProgram(i, members, rounds)
+        )
+        return network.run(max_rounds=rounds + 1)
+
+    repeats = 1 if SCALE == "smoke" else 3
+    sparse_seconds, sparse = _time_best(lambda: run("sparse"), repeats=repeats)
+    dense_seconds, dense = _time_best(lambda: run("dense"), repeats=repeats)
+
+    # The mandatory equivalence: scheduling may only change wall time.
+    assert sparse.outputs == dense.outputs
+    assert sparse.halted == dense.halted
+    assert sparse.decided_rounds == dense.decided_rounds
+    assert sparse.traffic.messages_sent == dense.traffic.messages_sent
+    assert sparse.traffic.bytes_sent == dense.traffic.bytes_sent
+    assert sparse.rounds_executed == dense.rounds_executed == rounds
+
+    _record_engine_case(f"round_loop_n{n}_sparse", n, sparse_seconds, sparse)
+    _record_engine_case(f"round_loop_n{n}_dense", n, dense_seconds, dense)
+    if SCALE != "smoke":
+        assert sparse_seconds * 3 <= dense_seconds, (
+            f"sparse round loop only "
+            f"{dense_seconds / sparse_seconds:.2f}x faster than dense"
+        )
+
+
+def test_engine_pb_erb_n16384():
+    """pb-ERB at N = 2^14 — sixteen times the paper's maximum.  Full
+    scale only: the point is that the sampled broadcast completes with
+    O(N log N) recorded link crossings (deterministic ERB's O(N^2) ledger
+    would be 268M messages here; the samples make it ~1.4M)."""
+    if SCALE != "full":
+        pytest.skip("N=16384 pb-ERB case runs at full scale only")
+    import math
+
+    n = 16384
+    pb = PbErbConfig()
+
+    def run():
+        result = run_pb_erb(
+            SimulationConfig(n=n, t=n // 4, seed=40, extra=_sched_extra()),
+            initiator=0,
+            message=b"pb-16384",
+        )
+        assert result.rounds_executed <= pb.resolved_round_bound(n)
+        return result
+
+    with maybe_profile(f"pb_erb_n{n}"):
+        seconds, result = _time_best(run, repeats=1)
+    delivered = sum(1 for v in result.outputs.values() if v == b"pb-16384")
+    # Integrity is sure; delivery is ε-probabilistic — allow the tail.
+    assert all(v in (None, b"pb-16384") for v in result.outputs.values())
+    assert delivered >= int(n * 0.99)
+    assert result.traffic.messages_sent <= 8 * n * math.log2(n)
+    _record_engine_case(f"pb_erb_n{n}", n, seconds, result)
 
 
 class _PerfProgram(EnclaveProgram):

@@ -36,6 +36,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.spec import ERB_PAYLOAD, CaseSpec
 from repro.core.erng_optimized import ClusterConfig
+from repro.core.pb_erb import PbErbConfig
 from repro.net.simulator import RunResult
 
 
@@ -58,6 +59,8 @@ def case_round_bound(spec: CaseSpec) -> int:
     """The hard termination bound the engine enforces for this spec."""
     if spec.protocol == "erng-opt":
         return ClusterConfig().resolved_gamma(spec.n) + 5
+    if spec.protocol == "pb-erb":
+        return PbErbConfig().resolved_round_bound(spec.n)
     return spec.t + 2
 
 
@@ -101,8 +104,11 @@ def check_run(
             "honest outputs diverge: " + ", ".join(sorted(distinct)),
         ))
 
-    # Validity / integrity.
-    if spec.protocol == "erb":
+    # Validity / integrity.  pb-erb shares ERB's value domain (the
+    # broadcast bytes or ⊥) so the same fabrication check applies; its
+    # agreement/validity are ε-probabilistic, but campaign grids keep
+    # f <= n/4 with full fan-out samples, where both hold surely.
+    if spec.protocol in ("erb", "pb-erb"):
         if spec.initiator not in faulty:
             wrong = sorted(
                 n for n, v in honest.items() if v != ERB_PAYLOAD

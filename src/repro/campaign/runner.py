@@ -47,6 +47,7 @@ from repro.common.rng import DeterministicRNG
 from repro.core.erb import run_erb
 from repro.core.erng import run_erng
 from repro.core.erng_optimized import ClusterConfig, run_optimized_erng
+from repro.core.pb_erb import PbErbConfig, run_pb_erb
 from repro.net.simulator import RunResult
 from repro.obs.tracer import NULL_TRACER, Tracer
 
@@ -239,6 +240,11 @@ def run_case(
             config, initiator=spec.initiator, message=ERB_PAYLOAD,
             behaviors=behaviors,
         )
+    elif spec.protocol == "pb-erb":
+        result = run_pb_erb(
+            config, initiator=spec.initiator, message=ERB_PAYLOAD,
+            behaviors=behaviors,
+        )
     elif spec.protocol == "erng":
         result = run_erng(config, behaviors=behaviors)
     else:
@@ -350,7 +356,15 @@ def build_grid(
     specs: List[CaseSpec] = []
     for protocol in protocols:
         for n in sizes:
-            t = (n - 1) // 2 if protocol != "erng-opt" else n // 3
+            if protocol == "erng-opt":
+                t = n // 3
+            elif protocol == "pb-erb":
+                # The sampled quorum is probabilistic, not an N-t one:
+                # keep f low enough that the honest vote mass clears the
+                # τ-quorum deterministically at campaign sizes.
+                t = n // 4
+            else:
+                t = (n - 1) // 2
             for strategy in strategies:
                 for churn in churns:
                     if strategy == "honest" and churn != "none":
@@ -452,6 +466,159 @@ def run_campaign(
                 f"{protocol} n={n} strategy={strategy}: {violation.detail}",
             ))
     return report
+
+
+# ----------------------------------------------------------------------
+# pb-erb ε-sweep preset
+# ----------------------------------------------------------------------
+@dataclass
+class PbErbSweepCell:
+    """One (sample_factor, strategy) cell of the pb-erb ε-sweep.
+
+    ``hard_violations`` are the properties that hold *surely* regardless
+    of ε (integrity: outputs are the broadcast bytes or ⊥; termination:
+    every live node decides within the round bound) — any count above
+    zero fails the cell outright.  Agreement and delivery are the
+    ε-probabilistic properties: the cell passes when the empirical
+    failure rate stays within ``budget``, which is the configured ε
+    opened up to the analytic :meth:`~repro.core.pb_erb.PbErbConfig.
+    failure_bound` when the knobs cannot buy ε at this (n, f) — small
+    samples at small n are reported, not punished, for being outside
+    their analysis regime.
+    """
+
+    sample_factor: int
+    strategy: str
+    n: int
+    runs: int
+    agreement_failures: int
+    delivery_failures: int
+    hard_violations: List[str]
+    epsilon: float
+    analytic_bound: float
+
+    @property
+    def budget(self) -> float:
+        return max(self.epsilon, self.analytic_bound)
+
+    @property
+    def empirical_rate(self) -> float:
+        worst = max(self.agreement_failures, self.delivery_failures)
+        return worst / self.runs if self.runs else 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.hard_violations and self.empirical_rate <= self.budget
+
+
+def run_pb_erb_sweep(
+    n: int = 64,
+    seeds: int = 6,
+    sample_factors: Sequence[int] = (2, 3, 6),
+    epsilon: float = 0.05,
+    strategies: Sequence[str] = ("omission", "byzantine"),
+    master_seed: int = 0,
+) -> List[PbErbSweepCell]:
+    """Sweep pb-erb's sample-size knob against adversarial schedules.
+
+    For each ``(sample_factor, strategy)`` cell the preset runs ``seeds``
+    independent broadcasts under the strategy's fault schedule and counts
+    how often the ε-probabilistic properties failed: *agreement* (honest
+    nodes output more than one value) and *delivery* (an honest node
+    output ⊥ although the initiator was honest).  The sure properties —
+    integrity and bounded termination — are asserted unconditionally.
+    """
+    cells: List[PbErbSweepCell] = []
+    t = n // 4
+    for sample_factor in sample_factors:
+        pb = PbErbConfig(sample_factor=sample_factor, epsilon=epsilon)
+        for strategy in strategies:
+            agreement_failures = 0
+            delivery_failures = 0
+            hard: List[str] = []
+            worst_bound = 0.0
+            for seed_index in range(seeds):
+                seed = derive_seed(
+                    master_seed, "pb-erb-sweep", n, sample_factor,
+                    strategy, seed_index,
+                )
+                schedule = build_schedule(strategy, n, t, seed)
+                config = SimulationConfig(n=n, t=t, seed=seed)
+                result = run_pb_erb(
+                    config, initiator=0, message=ERB_PAYLOAD,
+                    behaviors=schedule.compile(seed) or None, pb=pb,
+                )
+                faulty = set(schedule.faulty_nodes())
+                worst_bound = max(worst_bound, pb.failure_bound(n, len(faulty)))
+                halted = set(result.halted)
+                honest = {
+                    node: value
+                    for node, value in result.outputs.items()
+                    if node not in faulty and node not in halted
+                }
+                fabricated = sorted(
+                    node for node, value in honest.items()
+                    if value is not None and value != ERB_PAYLOAD
+                )
+                if fabricated:
+                    hard.append(
+                        f"seed {seed_index}: fabricated outputs at {fabricated}"
+                    )
+                undecided = sorted(
+                    node for node in range(n)
+                    if node not in halted and node not in result.outputs
+                )
+                if undecided:
+                    hard.append(
+                        f"seed {seed_index}: undecided live nodes {undecided}"
+                    )
+                bound = pb.resolved_round_bound(n)
+                if result.rounds_executed > bound:
+                    hard.append(
+                        f"seed {seed_index}: {result.rounds_executed} rounds "
+                        f"exceed the bound {bound}"
+                    )
+                if len({repr(v) for v in honest.values()}) > 1:
+                    agreement_failures += 1
+                if 0 not in faulty and any(
+                    value is None for value in honest.values()
+                ):
+                    delivery_failures += 1
+            cells.append(PbErbSweepCell(
+                sample_factor=sample_factor,
+                strategy=strategy,
+                n=n,
+                runs=seeds,
+                agreement_failures=agreement_failures,
+                delivery_failures=delivery_failures,
+                hard_violations=hard,
+                epsilon=epsilon,
+                analytic_bound=worst_bound,
+            ))
+    return cells
+
+
+def summarize_pb_erb_sweep(cells: Sequence[PbErbSweepCell]) -> str:
+    """Human-readable ε-sweep table for the CLI."""
+    lines = [
+        "pb-erb sweep: sample_factor x strategy, "
+        "empirical failure rate vs ε budget",
+    ]
+    for cell in cells:
+        verdict = "ok" if cell.passed else "FAIL"
+        lines.append(
+            f"  k={cell.sample_factor} {cell.strategy:<10} n={cell.n} "
+            f"runs={cell.runs} agree_fail={cell.agreement_failures} "
+            f"deliver_fail={cell.delivery_failures} "
+            f"rate={cell.empirical_rate:.3f} "
+            f"budget={cell.budget:.3f} "
+            f"(analytic {cell.analytic_bound:.2e})  {verdict}"
+        )
+        for detail in cell.hard_violations:
+            lines.append(f"       hard violation: {detail}")
+    if all(cell.passed for cell in cells):
+        lines.append("pb-erb sweep: the agreement bound held at every cell")
+    return "\n".join(lines)
 
 
 def summarize_report(report: CampaignReport) -> str:

@@ -26,7 +26,7 @@ from repro.common.errors import ConfigurationError
 from repro.campaign.schedule import Schedule
 
 #: Protocols a campaign can drive (see repro.campaign.runner.run_case).
-PROTOCOLS = ("erb", "erng", "erng-opt")
+PROTOCOLS = ("erb", "erng", "erng-opt", "pb-erb")
 
 #: The fixed payload ERB cases broadcast (validity is checked against it).
 ERB_PAYLOAD = b"campaign-payload"
@@ -65,7 +65,8 @@ class CaseSpec:
 
     def validate(self) -> None:
         self.schedule.validate(self.n, self.t)
-        if self.protocol == "erb" and not 0 <= self.initiator < self.n:
+        if self.protocol in ("erb", "pb-erb") \
+                and not 0 <= self.initiator < self.n:
             raise ConfigurationError(
                 f"initiator {self.initiator} outside network of size {self.n}"
             )

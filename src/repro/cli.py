@@ -37,6 +37,7 @@ from repro.adversary import chain_delay_strategy
 from repro.apps.beacon import RandomBeacon
 from repro.core.agreement import run_byzantine_agreement
 from repro.core.churn import ChurnDriver
+from repro.core.pb_erb import PbErbConfig, run_pb_erb
 from repro.obs import JsonlSink, Tracer, read_trace, render_timeline
 from repro.obs.events import MetaEvent
 from repro.net.parallel import planned_data_plane
@@ -86,9 +87,13 @@ def _stamp_for(args: argparse.Namespace) -> dict:
     the run shape would engage the parallel engine."""
     workers = getattr(args, "workers", None)
     extra = {"parallel_data_plane": getattr(args, "data_plane", "auto")}
+    # "auto" resolves per network (it depends on which programs are
+    # sparse-aware), so the stamp records the *requested* mode verbatim;
+    # comparability is equality, which is conservative either way.
     return machine_stamp(
         workers=workers,
         data_plane=planned_data_plane(workers, extra),
+        scheduler=getattr(args, "scheduler", "auto"),
     )
 
 
@@ -164,9 +169,15 @@ def _config_for(args: argparse.Namespace, **overrides) -> SimulationConfig:
         tracer=_tracer_for(args),
         workers=getattr(args, "workers", 1),
     )
+    extra = {}
     data_plane = getattr(args, "data_plane", "auto")
     if data_plane != "auto":
-        params["extra"] = {"parallel_data_plane": data_plane}
+        extra["parallel_data_plane"] = data_plane
+    scheduler = getattr(args, "scheduler", "auto")
+    if scheduler != "auto":
+        extra["scheduler"] = scheduler
+    if extra:
+        params["extra"] = extra
     if getattr(args, "timing_out", None):
         params["timing"] = TimingCollector()
     if getattr(args, "metrics_out", None):
@@ -195,6 +206,35 @@ def _cmd_erb(args: argparse.Namespace) -> int:
     _finish_trace(tracer, args)
     _finish_obs(config, args, result)
     _print_result(result, f"ERB broadcast over N={args.n}")
+    return 0
+
+
+def _cmd_pb_erb(args: argparse.Namespace) -> int:
+    t = args.t if args.t >= 0 else args.n // 4
+    config = _config_for(args, t=t)
+    tracer = config.tracer
+    pb = PbErbConfig(
+        fanout=args.fanout,
+        echo_sample=args.echo_sample,
+        threshold=args.threshold,
+        epsilon=args.epsilon,
+    )
+    result = run_pb_erb(
+        config,
+        initiator=args.initiator,
+        message=args.message.encode("utf-8"),
+        pb=pb,
+    )
+    _finish_trace(tracer, args)
+    _finish_obs(config, args, result)
+    _print_result(result, f"pb-ERB broadcast over N={args.n}")
+    print(
+        f"  fanout/echo/quorum: g={pb.resolved_fanout(args.n)} "
+        f"e={pb.resolved_echo_sample(args.n)} "
+        f"q={pb.echo_quorum(args.n)} "
+        f"(analytic failure bound {pb.failure_bound(args.n, t):.3g} "
+        f"at f=t={t})"
+    )
     return 0
 
 
@@ -297,8 +337,23 @@ def _cmd_churn(args: argparse.Namespace) -> int:
 
 def _cmd_campaign(args: argparse.Namespace) -> int:
     from repro.campaign import build_grid, run_campaign, summarize_report
-    from repro.campaign.runner import CHURN_PATTERNS, STRATEGIES
+    from repro.campaign.runner import (
+        CHURN_PATTERNS,
+        STRATEGIES,
+        run_pb_erb_sweep,
+        summarize_pb_erb_sweep,
+    )
     from repro.campaign.spec import PROTOCOLS
+
+    if args.pb_erb_sweep:
+        cells = run_pb_erb_sweep(
+            n=args.pb_erb_n,
+            seeds=args.seeds,
+            epsilon=args.epsilon,
+            master_seed=args.seed,
+        )
+        print(summarize_pb_erb_sweep(cells))
+        return 0 if all(cell.passed for cell in cells) else 1
 
     protocols = args.protocols.split(",")
     unknown = sorted(set(protocols) - set(PROTOCOLS))
@@ -448,6 +503,14 @@ def build_parser() -> argparse.ArgumentParser:
             "(results are byte-identical either way)",
         )
         p.add_argument(
+            "--scheduler", choices=("auto", "dense", "sparse"),
+            default="auto",
+            help="round scheduling: visit every node each round (dense), "
+            "only active nodes (sparse; requires sparse-aware programs), "
+            "or pick automatically (results are byte-identical either "
+            "way)",
+        )
+        p.add_argument(
             "--profile-out", default=None, metavar="PATH",
             help="cProfile the run and dump pstats data to PATH "
             "(inspect with `python -m pstats PATH`)",
@@ -482,6 +545,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="byzantine delay-chain length (Fig. 2c worst case)",
     )
     p_erb.set_defaults(func=_cmd_erb)
+
+    p_pb = sub.add_parser(
+        "pb-erb",
+        help="run one sample-based probabilistic broadcast "
+        "(O(N log N) messages, ε-secure)",
+    )
+    common(p_pb, default_n=128)
+    p_pb.add_argument("--initiator", type=int, default=0)
+    p_pb.add_argument("--message", default="hello")
+    p_pb.add_argument(
+        "--fanout", type=int, default=None, metavar="G",
+        help="gossip sample size (default 3·⌈log2 N⌉)",
+    )
+    p_pb.add_argument(
+        "--echo-sample", type=int, default=None, metavar="E",
+        help="echo-vote sample size (default: fanout)",
+    )
+    p_pb.add_argument(
+        "--threshold", type=float, default=0.5,
+        help="accept quorum as a fraction of the echo sample (τ)",
+    )
+    p_pb.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="failure-probability budget the knobs are tuned against",
+    )
+    p_pb.set_defaults(func=_cmd_pb_erb)
 
     p_erng = sub.add_parser("erng", help="run the unoptimized ERNG")
     common(p_erng)
@@ -568,7 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_camp.add_argument(
         "--protocols", default="erb,erng,erng-opt",
-        help="comma-separated subset of erb,erng,erng-opt",
+        help="comma-separated subset of erb,erng,erng-opt,pb-erb",
     )
     p_camp.add_argument(
         "--sizes", default="5,8", metavar="N,N,...",
@@ -602,6 +691,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--cross-check", action="store_true",
         help="re-run every case with --workers 2 and require byte-identical "
         "results (exercises the parallel engine and its serial fallback)",
+    )
+    p_camp.add_argument(
+        "--pb-erb-sweep", action="store_true",
+        help="run the pb-erb ε-sweep preset instead of the grid: sweep the "
+        "sample-size knob against omission+byzantine schedules and check "
+        "the empirical agreement-failure rate against the configured ε",
+    )
+    p_camp.add_argument(
+        "--pb-erb-n", type=int, default=64, metavar="N",
+        help="network size for --pb-erb-sweep (default: %(default)s)",
+    )
+    p_camp.add_argument(
+        "--epsilon", type=float, default=0.05,
+        help="ε budget for --pb-erb-sweep (default: %(default)s)",
     )
     p_camp.add_argument(
         "--inject", type=int, default=None, metavar="NODE",

@@ -215,6 +215,12 @@ class ErbProgram(EnclaveProgram):
     PROGRAM_NAME = "erb"
     PROGRAM_VERSION = "1"
 
+    #: Spontaneous activity is round 1 (initiator's INIT) and the round
+    #: bound's ⊥ deadline; everything in between is delivery-driven
+    #: (echoes and decisions happen in ``on_message``, and the engine
+    #: re-wakes delivered nodes for the round-end publish).
+    SPARSE_AWARE = True
+
     def __init__(
         self,
         node_id: NodeId,
@@ -261,6 +267,11 @@ class ErbProgram(EnclaveProgram):
     def on_protocol_end(self, ctx) -> None:
         self.core.finish(ctx)
         self._maybe_publish(ctx)
+
+    def sparse_wake_round(self, rnd: int):
+        if self.has_output:
+            return None
+        return max(rnd + 1, self.round_bound)
 
     def _maybe_publish(self, ctx) -> None:
         if self.core.decided and not self.has_output:

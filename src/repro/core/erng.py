@@ -50,6 +50,11 @@ class ErngProgram(EnclaveProgram):
     PROGRAM_NAME = "erng-unoptimized"
     PROGRAM_VERSION = "1"
 
+    #: Spontaneous activity is round 1 (the RDRAND draw + own INIT) and
+    #: the round-``t+2`` deadline; core decisions in between only happen
+    #: inside ``on_message``, which re-wakes the node for round end.
+    SPARSE_AWARE = True
+
     def __init__(
         self,
         node_id: NodeId,
@@ -107,6 +112,11 @@ class ErngProgram(EnclaveProgram):
         for core in self.cores.values():
             core.finish(ctx)
         self._decide(ctx)
+
+    def sparse_wake_round(self, rnd: int):
+        if self.has_output:
+            return None
+        return max(rnd + 1, self.round_bound)
 
     # ------------------------------------------------------------------
     def _decide(self, ctx) -> None:

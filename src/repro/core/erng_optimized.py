@@ -79,6 +79,12 @@ class OptimizedErngProgram(EnclaveProgram):
     PROGRAM_NAME = "erng-optimized"
     PROGRAM_VERSION = "1"
 
+    #: This is the protocol sparse scheduling exists for: after round 1's
+    #: cluster coin, only members stay spontaneously active (membership
+    #: echo, initiation, quiet-round bookkeeping, FINAL release) — the
+    #: O(N) non-members are purely reactive, decided by FINAL deliveries.
+    SPARSE_AWARE = True
+
     def __init__(
         self,
         node_id: NodeId,
@@ -308,6 +314,16 @@ class OptimizedErngProgram(EnclaveProgram):
         if not self.has_output:
             # Threshold never reached: accept ⊥ (consistent fallback).
             self._accept(ctx, None)
+
+    def sparse_wake_round(self, rnd: int):
+        # Members tick every round until their FINAL is out (the
+        # quiet-round counter in on_round_end advances on rounds, not
+        # deliveries); after that their residual end-hook bookkeeping is
+        # unobservable.  Non-members are reactive after the round-1 coin:
+        # they output on FINAL deliveries and accept ⊥ at protocol end.
+        if self.is_member and not self.final_sent:
+            return rnd + 1
+        return None
 
     def _send_final(self, ctx) -> None:
         for core in self.cores.values():

@@ -1,0 +1,331 @@
+"""pb-ERB — sample-based probabilistic reliable broadcast.
+
+The deterministic ERB of Algorithm 2 sends every ECHO to all N peers:
+``O(N²)`` messages per broadcast, which is exactly what caps the scaling
+experiments near N=8192.  This module trades the deterministic quorum
+for an ε-secure sampled one, in the spirit of gossip-based probabilistic
+broadcast (Erdős–Rényi gossip for dissemination plus an echo-sample vote
+for consistency): every node talks to ``O(log N)`` uniformly sampled
+peers, taking a broadcast to ``O(N log N)`` messages and ``O(log N)``
+rounds while each correctness property holds except with a configurable
+probability ε.
+
+The enclave primitives do the same work here as in deterministic ERB —
+and are what makes the *sampled* variant sound against a byzantine OS:
+
+* sample views are drawn from RDRAND inside the enclave (F2), so the
+  adversary can neither observe nor bias who gossips to whom (an OS that
+  could see the samples could partition the quorum with f ≪ t nodes);
+* lockstep rounds (P5) stamp every gossip hop, so stale re-injection is
+  rejected exactly as in Algorithm 2;
+* messages between enclaves stay blinded (P3), so selective omission
+  remains identity-oblivious — the adversary drops edges of a random
+  graph it cannot see, which is what the ε analysis assumes.
+
+Protocol, for initiator ``id_init`` broadcasting ``m``:
+
+* **Gossip** — round 1: the initiator multicasts ``<INIT, m>`` to a
+  fresh ``g``-sample of its peers.  Any node receiving a *valid* INIT or
+  GOSSIP for the first time stores ``m̂ = m`` and forwards
+  ``<ECHO, m>`` to its own ``g``-sample in the next round (the
+  ``Wait(rnd)`` staging of Algorithm 2), so the informed set grows by a
+  factor ≈ ``g`` per round and saturates in ``O(log_g N)`` rounds.
+* **Echo vote** — on first receipt each node also sends ``<FINAL, m̂>``
+  to an independent ``e``-sample.  A node *accepts* ``m`` once it knows
+  ``⌈τ·e⌉`` distinct FINAL senders for its ``m̂`` (its own vote
+  included); since every informed peer votes into a uniform sample, a
+  node's expected vote count is ≈ ``e`` and the τ-quorum concentrates
+  sharply (Chernoff) — see :meth:`PbErbConfig.failure_bound`.
+* **Deadline** — a node that never reaches the quorum accepts ⊥ at the
+  end of round :meth:`PbErbConfig.resolved_round_bound`.
+
+No per-message ACK quorums: halt-on-divergence (P4) needs ``t`` ACKs per
+multicast, which cannot exist on an ``O(log N)``-sample — omission
+tolerance comes from the redundancy of independent samples instead, which
+is precisely the deterministic-vs-probabilistic trade the ε knobs price.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from repro.common.config import SimulationConfig
+from repro.common.types import MessageType, NodeId, ProtocolMessage
+from repro.net.simulator import RunResult, SynchronousNetwork
+from repro.net.topology import Topology
+from repro.sgx.program import EnclaveProgram
+
+
+class _Unset:
+    __slots__ = ()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return "<unset>"
+
+
+_UNSET = _Unset()
+
+#: The distinguished "no message" output (the paper's ⊥).
+BOTTOM = None
+
+
+@dataclass(frozen=True)
+class PbErbConfig:
+    """ε-security knobs for sample-based probabilistic broadcast.
+
+    ``fanout`` (g) is the gossip sample size, ``echo_sample`` (e) the
+    vote sample size; both default to ``sample_factor · ⌈log₂ N⌉``.
+    ``threshold`` (τ) is the accepted fraction of the expected vote
+    count, and ``epsilon`` the failure-probability budget the knobs are
+    tuned against — :meth:`failure_bound` evaluates the analytic union
+    bound so callers (and the campaign harness) can check that the
+    chosen (g, e, τ) actually buy the configured ε at a given (n, f).
+    """
+
+    fanout: Optional[int] = None
+    echo_sample: Optional[int] = None
+    threshold: float = 0.5
+    epsilon: float = 0.05
+    sample_factor: int = 3
+    round_slack: int = 3
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ValueError(f"threshold must be in (0, 1): {self.threshold}")
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError(f"epsilon must be in (0, 1): {self.epsilon}")
+        if self.sample_factor < 1:
+            raise ValueError("sample_factor must be >= 1")
+        if self.round_slack < 1:
+            raise ValueError("round_slack must be >= 1")
+
+    # ---- resolved knobs ------------------------------------------------
+    def resolved_fanout(self, n: int) -> int:
+        if self.fanout is not None:
+            return min(self.fanout, n - 1)
+        return min(
+            n - 1, max(1, self.sample_factor * math.ceil(math.log2(max(2, n))))
+        )
+
+    def resolved_echo_sample(self, n: int) -> int:
+        if self.echo_sample is not None:
+            return min(self.echo_sample, n - 1)
+        return self.resolved_fanout(n)
+
+    def echo_quorum(self, n: int) -> int:
+        """Distinct FINAL senders needed to accept: ``⌈τ·e⌉``."""
+        return max(1, math.ceil(self.threshold * self.resolved_echo_sample(n)))
+
+    def resolved_round_bound(self, n: int) -> int:
+        """Gossip saturation (``⌈log_g N⌉``) plus the vote round + slack."""
+        g = self.resolved_fanout(n)
+        if g >= n - 1:
+            saturation = 1
+        else:
+            saturation = max(1, math.ceil(math.log(max(2, n)) / math.log(g + 1)))
+        return saturation + self.round_slack
+
+    # ---- analytics -----------------------------------------------------
+    def failure_bound(self, n: int, f: int = 0) -> float:
+        """Union Chernoff bound on any honest node missing its quorum.
+
+        With ``H = n - f`` informed honest voters each sampling ``e``
+        peers uniformly, a fixed node's vote count is Binomial-like with
+        mean ``μ = H·e/(n-1)``; the lower tail below the quorum ``q``
+        is ≤ exp(-(μ-q)²/2μ), unioned over all ``n`` nodes.  Returns
+        1.0 when the mean does not clear the quorum at all (the knobs
+        cannot buy any ε).
+        """
+        e = self.resolved_echo_sample(n)
+        q = self.echo_quorum(n)
+        honest = max(0, n - f)
+        if n < 2 or honest == 0:
+            return 1.0
+        mean = honest * e / (n - 1)
+        if mean <= q:
+            return 1.0
+        per_node = math.exp(-((mean - q) ** 2) / (2.0 * mean))
+        return min(1.0, n * per_node)
+
+
+class PbErbProgram(EnclaveProgram):
+    """One sample-based probabilistic broadcast at one node."""
+
+    PROGRAM_NAME = "pb-erb"
+    PROGRAM_VERSION = "1"
+
+    #: Spontaneous activity is round 1 (the initiator's INIT) and the
+    #: round bound's ⊥ deadline; gossip forwards and quorum checks all
+    #: happen in ``on_message``, which re-wakes the node for round end.
+    SPARSE_AWARE = True
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        initiator: NodeId,
+        n: int,
+        t: int,
+        topology: Topology,
+        seq: int = 1,
+        message: object = None,
+        pb: Optional[PbErbConfig] = None,
+        instance: str = "pb-erb",
+    ) -> None:
+        super().__init__()
+        self.node_id = node_id
+        self.initiator = initiator
+        self.n = n
+        self.t = t
+        self.topology = topology
+        self.expected_seq = seq
+        self.broadcast_message = message
+        self.pb = pb if pb is not None else PbErbConfig()
+        self.instance = instance
+        self.fanout = self.pb.resolved_fanout(n)
+        self.echo_sample = self.pb.resolved_echo_sample(n)
+        self.quorum = self.pb.echo_quorum(n)
+        self.m_hat: object = _UNSET
+        self.votes: Dict[object, Set[NodeId]] = {}
+
+    @property
+    def round_bound(self) -> int:
+        return self.pb.resolved_round_bound(self.n)
+
+    # ------------------------------------------------------------------
+    def on_round_begin(self, ctx) -> None:
+        if ctx.round == 1 and ctx.node_id == self.initiator:
+            self.m_hat = self.broadcast_message
+            self._gossip(ctx, MessageType.INIT, ctx.round)
+            self._vote(ctx, ctx.round)
+            self._check_accept(ctx)
+
+    def on_message(self, ctx, sender: NodeId, message: ProtocolMessage) -> None:
+        if message.instance != self.instance or not self._valid(ctx, message):
+            return
+        if message.type is MessageType.INIT and sender != self.initiator:
+            return
+        if message.type in (MessageType.INIT, MessageType.ECHO):
+            if self.m_hat is _UNSET:
+                self.m_hat = message.payload
+                # Both fan-outs are staged (Wait): they transmit at the
+                # start of the next round, stamped by the engine.
+                self._gossip(ctx, MessageType.ECHO, 0)
+                self._vote(ctx, 0)
+                self._check_accept(ctx)
+        elif message.type is MessageType.FINAL:
+            self.votes.setdefault(message.payload, set()).add(sender)
+            self._check_accept(ctx)
+
+    def on_round_end(self, ctx) -> None:
+        if ctx.round >= self.round_bound and not self.has_output:
+            self._accept(ctx, BOTTOM)
+
+    def on_protocol_end(self, ctx) -> None:
+        if not self.has_output:
+            self._accept(ctx, BOTTOM)
+
+    def sparse_wake_round(self, rnd: int):
+        if self.has_output:
+            return None
+        return max(rnd + 1, self.round_bound)
+
+    # ------------------------------------------------------------------
+    def _valid(self, ctx, message: ProtocolMessage) -> bool:
+        # Lockstep round check (P5) + sequence freshness (P6) + binding
+        # to this instance's initiator, exactly as deterministic ERB.
+        return (
+            message.rnd == ctx.round
+            and message.seq == self.expected_seq
+            and message.initiator == self.initiator
+        )
+
+    def _sample(self, ctx, size: int):
+        return self.topology.sample_view(
+            self.node_id, size, ctx.rdrand.rng()
+        )
+
+    def _gossip(self, ctx, mtype: MessageType, rnd: int) -> None:
+        targets = self._sample(ctx, self.fanout)
+        if not targets:
+            return
+        ctx.multicast(
+            ProtocolMessage(
+                type=mtype,
+                initiator=self.initiator,
+                seq=self.expected_seq,
+                payload=self.m_hat,
+                rnd=rnd,
+                instance=self.instance,
+            ),
+            targets=targets,
+            expect_acks=False,
+        )
+
+    def _vote(self, ctx, rnd: int) -> None:
+        self.votes.setdefault(self.m_hat, set()).add(self.node_id)
+        targets = self._sample(ctx, self.echo_sample)
+        if not targets:
+            return
+        ctx.multicast(
+            ProtocolMessage(
+                type=MessageType.FINAL,
+                initiator=self.initiator,
+                seq=self.expected_seq,
+                payload=self.m_hat,
+                rnd=rnd,
+                instance=self.instance,
+            ),
+            targets=targets,
+            expect_acks=False,
+        )
+
+    def _check_accept(self, ctx) -> None:
+        if self.has_output or self.m_hat is _UNSET:
+            return
+        senders = self.votes.get(self.m_hat)
+        if senders is not None and len(senders) >= self.quorum:
+            tracer = getattr(ctx, "tracer", None)
+            if tracer is not None and tracer.enabled:
+                tracer.protocol(
+                    "pb_erb_accept",
+                    node=ctx.node_id,
+                    rnd=ctx.round,
+                    instance=self.instance,
+                    senders=len(senders),
+                    quorum=self.quorum,
+                )
+            self._accept(ctx, self.m_hat)
+
+
+def run_pb_erb(
+    config: SimulationConfig,
+    initiator: NodeId,
+    message: object,
+    behaviors: Optional[Dict[NodeId, object]] = None,
+    seq: int = 1,
+    topology: Optional[Topology] = None,
+    pb: Optional[PbErbConfig] = None,
+) -> RunResult:
+    """Build a network and execute one pb-ERB broadcast to completion."""
+    config.require_erb_bound()
+    pb = pb if pb is not None else PbErbConfig()
+    topo = topology if topology is not None else Topology.full_mesh(config.n)
+
+    def factory(node_id: NodeId) -> PbErbProgram:
+        return PbErbProgram(
+            node_id=node_id,
+            initiator=initiator,
+            n=config.n,
+            t=config.t,
+            topology=topo,
+            seq=seq,
+            message=message if node_id == initiator else None,
+            pb=pb,
+        )
+
+    network = SynchronousNetwork(
+        config, factory, behaviors=behaviors, topology=topo
+    )
+    return network.run(max_rounds=pb.resolved_round_bound(config.n))

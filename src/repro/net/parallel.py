@@ -99,6 +99,7 @@ from repro.obs.events import RoundSpan, WireEvent
 from repro.obs.metrics import PROFILER, MetricsRegistry
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sgx.enclave import EnclaveState
+from repro.sgx.program import sparse_aware
 
 _LOG = logging.getLogger("repro.engine")
 
@@ -157,7 +158,8 @@ def planned_data_plane(
 
 class _WorkerState:
     __slots__ = ("net", "shard", "nshards", "owned", "events", "traced",
-                 "timed", "bucket")
+                 "timed", "bucket", "sparse", "aware", "always", "wake",
+                 "buckets", "delivered", "visit", "undone", "decided_count")
 
     net: SynchronousNetwork
     shard: int
@@ -167,6 +169,19 @@ class _WorkerState:
     traced: bool
     timed: bool
     bucket: str
+    # Sparse-scheduler shard view (mirrors SynchronousNetwork._sched_*,
+    # restricted to owned nodes): wake hints / buckets drive the begin
+    # visit list, ``delivered`` re-wakes receivers for round end, and the
+    # undone set + decided counter replace the per-round O(owned) scans.
+    sparse: bool
+    aware: set
+    always: List[int]
+    wake: Dict[int, int]
+    buckets: Dict[int, List[int]]
+    delivered: set
+    visit: List[int]
+    undone: set
+    decided_count: int
 
 
 # A packed send intent, as shipped from workers to the coordinator:
@@ -256,6 +271,28 @@ def _worker_init(shard: int, nshards: int) -> None:
     net._ack_queue.clear()
     net._ack_queue_fast.clear()
     net._ack_digest_by_id.clear()
+    # Sparse scheduling: rebuild the engine's wake bookkeeping restricted
+    # to owned nodes.  Wake hints are pure functions of enclave state,
+    # which is sharded wholesale, so every shard's view evolves exactly
+    # like the matching slice of the serial engine's.
+    st.sparse = net._sparse
+    if st.sparse:
+        st.aware = {
+            i for i in st.owned if sparse_aware(net.nodes[i].program)
+        }
+        st.always = [i for i in st.owned if i not in st.aware]
+        st.wake = {i: 1 for i in st.aware}
+        st.buckets = {1: sorted(st.aware)} if st.aware else {}
+        st.delivered = set()
+        st.visit = []
+        st.undone = set()
+        st.decided_count = 0
+        for i in st.owned:
+            node = net.nodes[i]
+            if node.program.has_output:
+                st.decided_count += 1
+            elif node.alive:
+                st.undone.add(i)
     _STATE = st
 
 
@@ -300,8 +337,31 @@ def _worker_begin(channel, rnd: int) -> None:
     halted: List[int] = []
     staged: List[tuple] = []
     batches: List[tuple] = []
+    counts = None
+    if st.sparse:
+        t0 = perf_counter() if timed else 0.0
+        woken = st.buckets.pop(rnd, None)
+        if woken:
+            wake = st.wake
+            sched = sorted({i for i in woken if wake.get(i) == rnd})
+        else:
+            sched = []
+        if not st.always:
+            visit_ids = sched
+        elif not sched:
+            visit_ids = st.always
+        else:
+            visit_ids = sorted(st.always + sched)
+        st.visit = visit_ids
+        counts = (len(visit_ids), len(st.owned) - len(visit_ids))
+        if timed:
+            tmb["scheduler"] = tmb.get("scheduler", 0.0) + (
+                perf_counter() - t0
+            )
+    else:
+        visit_ids = st.owned
     net._in_round_begin = True
-    for node_id in st.owned:
+    for node_id in visit_ids:
         node = net.nodes[node_id]
         if not node.alive:
             continue
@@ -337,7 +397,7 @@ def _worker_begin(channel, rnd: int) -> None:
         tmb["handler"] = tmb.get("handler", 0.0) + handler_s
         tmb[st.bucket] = tmb.get(st.bucket, 0.0) + send_s
         timing = (perf_counter() - t_start, tmb)
-    channel.send(("d", (halted, batches, timing)))
+    channel.send(("d", (halted, batches, counts, timing)))
 
 
 def _worker_deliver(channel, rnd: int, packed: list) -> None:
@@ -376,6 +436,7 @@ def _worker_deliver(channel, rnd: int, packed: list) -> None:
     batches: List[tuple] = []
     raw_acks: List[tuple] = []
     halted_state = EnclaveState.HALTED
+    delivered = st.delivered if st.sparse else None
     next_rnd = rnd + 1
     for i, (sender, targets, message) in enumerate(plan):
         for j, receiver in enumerate(targets):
@@ -389,6 +450,8 @@ def _worker_deliver(channel, rnd: int, packed: list) -> None:
             abase = len(ackq)
             obase = len(outbox)
             ebase = len(events) if traced else 0
+            if delivered is not None:
+                delivered.add(receiver)
             if timed:
                 t0 = perf_counter()
                 node.program.on_message(node.context, sender, message)
@@ -459,15 +522,31 @@ def _worker_end(
         enclave = net.nodes[node_id].enclave
         if not enclave.halted:
             enclave.halt(rnd)
-            net.invalidate_neighbour_cache(node_id)
+            net.evict_departed_node(node_id)
     outbox = net._outbox_next
     events = st.events
     traced = st.traced
     halted: List[int] = []
     staged: List[tuple] = []
     batches: List[tuple] = []
+    counts = None
+    if st.sparse:
+        t0 = perf_counter() if timed else 0.0
+        delivered = st.delivered
+        if delivered:
+            delivered.update(st.visit)
+            end_visit = sorted(delivered)
+        else:
+            end_visit = st.visit
+        counts = (len(end_visit), len(st.owned) - len(end_visit))
+        if timed:
+            tmb["scheduler"] = tmb.get("scheduler", 0.0) + (
+                perf_counter() - t0
+            )
+    else:
+        end_visit = st.owned
     next_rnd = rnd + 1
-    for node_id in st.owned:
+    for node_id in end_visit:
         node = net.nodes[node_id]
         if not node.alive:
             continue
@@ -496,14 +575,61 @@ def _worker_end(
         events.clear()
     _check_no_stray_acks(net, "on_round_end")
     net.clock.advance(seconds)
-    decided = 0
-    all_done = True
-    for node_id in st.owned:
-        node = net.nodes[node_id]
-        if node.program.has_output:
-            decided += 1
-        elif node.alive:
-            all_done = False
+    if st.sparse:
+        t0 = perf_counter() if timed else 0.0
+        wake = st.wake
+        buckets = st.buckets
+        undone = st.undone
+        aware = st.aware
+        nodes = net.nodes
+        for node_id in end_visit:
+            node = nodes[node_id]
+            if node_id in undone and (
+                node.program.has_output or not node.alive
+            ):
+                undone.discard(node_id)
+                if node.program.has_output:
+                    st.decided_count += 1
+            if not node.alive:
+                wake.pop(node_id, None)
+                continue
+            if node_id in aware:
+                hint = node.program.sparse_wake_round(rnd)
+                if hint is None:
+                    wake.pop(node_id, None)
+                else:
+                    if hint <= rnd:
+                        hint = rnd + 1
+                    if wake.get(node_id) != hint:
+                        wake[node_id] = hint
+                        buckets.setdefault(hint, []).append(node_id)
+        nshards = st.nshards
+        shard = st.shard
+        for node_id in halted_now:
+            if node_id % nshards != shard:
+                continue
+            wake.pop(node_id, None)
+            if node_id in undone:
+                undone.discard(node_id)
+                if nodes[node_id].program.has_output:
+                    st.decided_count += 1
+        st.delivered.clear()
+        st.visit = []
+        decided = st.decided_count
+        all_done = not undone
+        if timed:
+            tmb["scheduler"] = tmb.get("scheduler", 0.0) + (
+                perf_counter() - t0
+            )
+    else:
+        decided = 0
+        all_done = True
+        for node_id in st.owned:
+            node = net.nodes[node_id]
+            if node.program.has_output:
+                decided += 1
+            elif node.alive:
+                all_done = False
     if staged:
         send_s += _flush_staged(channel, staged, timed)
     timing = None
@@ -511,7 +637,7 @@ def _worker_end(
         tmb["handler"] = tmb.get("handler", 0.0) + handler_s
         tmb[st.bucket] = tmb.get(st.bucket, 0.0) + send_s
         timing = (perf_counter() - t_start, tmb)
-    channel.send(("d", (halted, batches, decided, all_done, timing)))
+    channel.send(("d", (halted, batches, decided, all_done, counts, timing)))
 
 
 def _worker_finish(channel) -> None:
@@ -738,7 +864,7 @@ class _Coordinator:
             enclave = net.nodes[node_id].enclave
             if not enclave.halted:
                 enclave.halt(rnd)
-                net.invalidate_neighbour_cache(node_id)
+                net.evict_departed_node(node_id)
 
     def _emit_batches(self, batches: List[tuple]) -> None:
         """Splice per-node event batches back in serial (key) order."""
@@ -895,9 +1021,14 @@ class _Coordinator:
             wave_wall += wall
             t0 = perf_counter()
         begin_events: List[tuple] = []
-        for shard, (halted, batches, w_timing) in enumerate(responses):
+        sched_counters = net.sched_counters
+        for shard, (halted, batches, w_counts, w_timing) in \
+                enumerate(responses):
             self._apply_halts(halted, rnd)
             begin_events.extend(batches)
+            if w_counts is not None:
+                sched_counters["begin_visited"] += w_counts[0]
+                sched_counters["begin_skipped"] += w_counts[1]
             if w_timing is not None:
                 busy, buckets = w_timing
                 shard_busy[shard] += busy
@@ -1084,9 +1215,13 @@ class _Coordinator:
         if tm is not None:
             tm.add("ack_wave", perf_counter() - t0)
 
-        # Phases 5 and 6.
+        # Phases 5 and 6.  The live scan is O(n) and only feeds the
+        # traced RoundSpan / debug log, so sparse runs skip it.
         halted_now = net._phase_halt_check(rnd)
-        live = sum(1 for node in nodes.values() if node.alive)
+        debug = _LOG.isEnabledFor(logging.DEBUG)
+        live = 0
+        if traced or debug:
+            live = sum(1 for node in nodes.values() if node.alive)
         if traced:
             tracer.phase(rnd, "end", count=live)
         seconds = net.config.round_seconds
@@ -1104,12 +1239,15 @@ class _Coordinator:
         if tm is not None:
             wave_wall += wall
             t0 = perf_counter()
-        for shard, (halted, batches, w_decided, w_done, w_timing) in \
-                enumerate(responses):
+        for shard, (halted, batches, w_decided, w_done, w_counts,
+                    w_timing) in enumerate(responses):
             self._apply_halts(halted, rnd)
             end_events.extend(batches)
             decided += w_decided
             all_done = all_done and w_done
+            if w_counts is not None:
+                sched_counters["end_visited"] += w_counts[0]
+                sched_counters["end_skipped"] += w_counts[1]
             if w_timing is not None:
                 busy, buckets = w_timing
                 shard_busy[shard] += busy
@@ -1124,7 +1262,7 @@ class _Coordinator:
         net.stats.rounds.append(
             RoundRecord(rnd=rnd, bytes=round_bytes, seconds=seconds)
         )
-        if traced or _LOG.isEnabledFor(logging.DEBUG):
+        if traced or debug:
             omissions = traffic.omissions - omissions_before
             rejections = traffic.rejections - rejections_before
             if traced:
@@ -1233,7 +1371,7 @@ class _Coordinator:
             if not alive:
                 if not enclave.halted:  # halts during on_protocol_end
                     enclave.halt(halted_round)
-                    net.invalidate_neighbour_cache(node_id)
+                    net.evict_departed_node(node_id)
                 halted.append(node_id)
             if has_output:
                 outputs[node_id] = output

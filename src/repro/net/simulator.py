@@ -84,7 +84,7 @@ from repro.net.transport import (
 )
 from repro.sgx.attestation import AttestationAuthority
 from repro.sgx.enclave import Enclave, EnclaveState
-from repro.sgx.program import EnclaveProgram
+from repro.sgx.program import EnclaveProgram, sparse_aware
 from repro.sgx.trusted_time import SimulationClock
 
 #: Value accepted when a protocol times out without deciding (the paper's ⊥).
@@ -222,7 +222,7 @@ class EnclaveContext:
     def halt(self) -> None:
         """Voluntary Halt(st) — the enclave leaves the network (P4)."""
         self._network.nodes[self.node_id].enclave.halt(self.round)
-        self._network.invalidate_neighbour_cache(self.node_id)
+        self._network.evict_departed_node(self.node_id)
 
 
 @dataclass
@@ -425,6 +425,56 @@ class SynchronousNetwork:
         # trails for invariant checking; the hook must treat the network
         # as read-only.
         self._round_hook = config.extra.get("round_hook")
+        # Active-set sparse scheduling (``extra["scheduler"]``): visit
+        # only nodes that can act this round instead of all N.  ``auto``
+        # (the default) goes sparse exactly when every per-round hook is
+        # covered by the contract — i.e. at least one program opted in
+        # via SPARSE_AWARE; non-aware programs stay on the always-visited
+        # list either way, so mixed populations remain correct.
+        requested = config.extra.get("scheduler", "auto")
+        if requested not in ("dense", "sparse", "auto"):
+            raise ConfigurationError(
+                f"extra['scheduler'] must be 'dense', 'sparse' or 'auto', "
+                f"got {requested!r}"
+            )
+        if requested == "auto":
+            self._sparse = any(
+                sparse_aware(node.program) for node in self.nodes.values()
+            )
+        else:
+            self._sparse = requested == "sparse"
+        #: The resolved scheduling mode ("dense" or "sparse") — stamped
+        #: into bench entries so the gate never compares across modes.
+        self.scheduler = "sparse" if self._sparse else "dense"
+        #: Cumulative hook-visit accounting (sparse runs only; dense
+        #: visits everyone and skips nobody).  Lives outside RunStats so
+        #: the sparse==dense equivalence suite can byte-compare results.
+        self.sched_counters: Dict[str, int] = {
+            "begin_visited": 0,
+            "begin_skipped": 0,
+            "end_visited": 0,
+            "end_skipped": 0,
+        }
+        # Sparse bookkeeping (rebuilt by _setup for every run): the
+        # always-visited list, per-node wake hints, round buckets, the
+        # delivered-this-round set and the monotone not-yet-done set.
+        self._sched_aware: set = set()
+        self._sched_always: List[NodeId] = []
+        self._sched_wake: Dict[NodeId, Round] = {}
+        self._sched_buckets: Dict[Round, List[NodeId]] = {}
+        self._sched_delivered: set = set()
+        self._sched_visit: List[NodeId] = []
+        self._undone: set = set()
+        # Nodes with OS behaviours, ascending (static for the network's
+        # lifetime): phase-2 injection drains and phase-6 behaviour ticks
+        # iterate this instead of scanning all N nodes.
+        self._behavior_nodes: List[NodeId] = [
+            node_id for node_id, node in self.nodes.items()
+            if node.behavior is not None
+        ]
+        # Envelope-path dispatch table, cached across rounds (halts are
+        # read live off the enclave; only replace_programs invalidates).
+        self._dispatch_cache: Optional[List[tuple]] = None
 
     @property
     def action_trace(self) -> Optional[ActionTrace]:
@@ -463,6 +513,21 @@ class SynchronousNetwork:
             self._neighbour_cache.clear()
         else:
             self._neighbour_cache.pop(node, None)
+
+    def evict_departed_node(self, node: NodeId) -> None:
+        """Active-set change (halt / eject): drop every cached view keyed
+        by the departed node — its neighbour tuple and the ACK-digest LRU
+        entries for multicasts it initiated.  Digests are pure functions
+        of their key, so eviction can only prevent stale-view retention
+        after churn, never change a value; the LRU simply stops carrying
+        identities no live node will ever ACK again.
+        """
+        self.invalidate_neighbour_cache(node)
+        cache = self._digest_cache
+        if cache:
+            stale = [key for key in cache if key[2] == node]
+            for key in stale:
+                del cache[key]
 
     def _queue_multicast(
         self,
@@ -575,6 +640,9 @@ class SynchronousNetwork:
         self._pending_handles.clear()
         self._ack_size_cache.clear()
         self.invalidate_neighbour_cache()
+        # The cached envelope dispatch table holds bound on_message
+        # methods of the *old* programs — rebuild on next use.
+        self._dispatch_cache = None
         self.stats = RunStats()
         self.current_round = 0
 
@@ -693,6 +761,114 @@ class SynchronousNetwork:
                 node.program.on_setup(node.context)
         if tm is not None:
             tm.add("handler", perf_counter() - t0)
+        if self._sparse:
+            t0 = perf_counter() if tm is not None else 0.0
+            self._sched_init()
+            if tm is not None:
+                tm.add("scheduler", perf_counter() - t0)
+
+    # ------------------------------------------------------------------
+    # sparse scheduling bookkeeping
+    # ------------------------------------------------------------------
+    def _sched_init(self) -> None:
+        """(Re)build the sparse-scheduler state for one run.
+
+        Everyone starts woken for round 1 (programs act spontaneously in
+        their first round at the latest via setup-staged sends or
+        round-1 draws); from round 2 on, only hinted wake rounds and
+        deliveries put a SPARSE_AWARE node back on the visit list.
+        """
+        aware: set = set()
+        always: List[NodeId] = []
+        for node_id, node in self.nodes.items():
+            if sparse_aware(node.program):
+                aware.add(node_id)
+            else:
+                always.append(node_id)
+        self._sched_aware = aware
+        self._sched_always = always
+        self._sched_wake = {node_id: 1 for node_id in aware}
+        self._sched_buckets = {1: sorted(aware)} if aware else {}
+        self._sched_delivered = set()
+        self._sched_visit = []
+        self._undone = {
+            node_id for node_id, node in self.nodes.items()
+            if node.alive and not node.program.has_output
+        }
+
+    def _sched_begin(self, rnd: Round) -> List[NodeId]:
+        """Phase-1 visit list (ascending, matching dense iteration order):
+        the always-visited nodes merged with this round's woken set."""
+        woken = self._sched_buckets.pop(rnd, None)
+        if woken:
+            wake = self._sched_wake
+            # Stale bucket entries (hint later retracted or moved) and
+            # re-hint duplicates are filtered here, at pop time.
+            sched = sorted({i for i in woken if wake.get(i) == rnd})
+        else:
+            sched = []
+        always = self._sched_always
+        if not always:
+            visit = sched
+        elif not sched:
+            visit = always
+        else:
+            visit = sorted(always + sched)
+        self._sched_visit = visit
+        counters = self.sched_counters
+        counters["begin_visited"] += len(visit)
+        counters["begin_skipped"] += self.config.n - len(visit)
+        return visit
+
+    def _sched_end(self) -> List[NodeId]:
+        """Phase-6 visit list: phase-1's visits plus every node that had
+        a message dispatched to it this round (deliveries always re-wake
+        for the round-end hook, regardless of hints)."""
+        delivered = self._sched_delivered
+        visit = self._sched_visit
+        if delivered:
+            delivered.update(visit)
+            end_visit = sorted(delivered)
+        else:
+            end_visit = visit
+        counters = self.sched_counters
+        counters["end_visited"] += len(end_visit)
+        counters["end_skipped"] += self.config.n - len(end_visit)
+        return end_visit
+
+    def _sched_after_end(
+        self, rnd: Round, end_visit: List[NodeId], halted_now: List[NodeId]
+    ) -> None:
+        """Post-hook bookkeeping: re-query wake hints for every visited
+        aware node, and retire finished nodes from the not-done set."""
+        nodes = self.nodes
+        aware = self._sched_aware
+        wake = self._sched_wake
+        buckets = self._sched_buckets
+        undone = self._undone
+        for node_id in end_visit:
+            node = nodes[node_id]
+            if not node.alive:
+                wake.pop(node_id, None)
+                undone.discard(node_id)
+                continue
+            if node.program.has_output:
+                undone.discard(node_id)
+            if node_id not in aware:
+                continue
+            hint = node.program.sparse_wake_round(rnd)
+            if hint is None:
+                wake.pop(node_id, None)
+            else:
+                if hint <= rnd:
+                    hint = rnd + 1
+                if wake.get(node_id) != hint:
+                    wake[node_id] = hint
+                    buckets.setdefault(hint, []).append(node_id)
+        for node_id in halted_now:
+            wake.pop(node_id, None)
+            undone.discard(node_id)
+        self._sched_delivered.clear()
 
     def _finish(self) -> None:
         tm = self._timing
@@ -717,6 +893,10 @@ class SynchronousNetwork:
             ))
 
     def _everyone_done(self) -> bool:
+        if self._sparse:
+            # _sched_after_end retires nodes as they decide or halt, so
+            # the doneness check is O(1) instead of an O(N) scan.
+            return not self._undone
         return all(
             (not node.alive) or node.program.has_output
             for node in self.nodes.values()
@@ -764,10 +944,21 @@ class SynchronousNetwork:
         if traced:
             tracer.phase(rnd, "begin", count=len(self._outbox_now))
         self._in_round_begin = True
-        t0 = perf_counter() if tm is not None else 0.0
-        for node in nodes.values():
-            if node.alive:
-                node.program.on_round_begin(node.context)
+        if self._sparse:
+            t0 = perf_counter() if tm is not None else 0.0
+            begin_visit = self._sched_begin(rnd)
+            if tm is not None:
+                tm.add("scheduler", perf_counter() - t0)
+            t0 = perf_counter() if tm is not None else 0.0
+            for node_id in begin_visit:
+                node = nodes[node_id]
+                if node.alive:
+                    node.program.on_round_begin(node.context)
+        else:
+            t0 = perf_counter() if tm is not None else 0.0
+            for node in nodes.values():
+                if node.alive:
+                    node.program.on_round_begin(node.context)
         if tm is not None:
             tm.add("handler", perf_counter() - t0)
         self._in_round_begin = False
@@ -851,9 +1042,10 @@ class SynchronousNetwork:
         # Injected (replayed / forged) wires and previously delayed wires
         # (only OS behaviours produce either, so the fast path has none).
         if not fast:
-            for node in nodes.values():
+            for behavior_id in self._behavior_nodes:
+                node = nodes[behavior_id]
                 behavior = node.behavior
-                if behavior is None or not node.alive:
+                if not node.alive:
                     continue
                 for delay, out in behavior.drain_injections(rnd):
                     if delay <= 0:
@@ -955,7 +1147,7 @@ class SynchronousNetwork:
         for (sender, _key), handle in self._pending_handles.items():
             if handle.diverged and handle.targets >= handle.threshold:
                 nodes[sender].enclave.halt(rnd)
-                self.invalidate_neighbour_cache(sender)
+                self.evict_departed_node(sender)
                 if sender not in halted_now:
                     halted_now.append(sender)
                 if traced:
@@ -978,18 +1170,45 @@ class SynchronousNetwork:
         traffic = self.stats.traffic
         tracer = self.tracer
         traced = tracer.enabled
-        live = sum(1 for node in nodes.values() if node.alive)
+        debug = _LOG.isEnabledFor(logging.DEBUG)
+        live = 0
+        if traced or debug:
+            live = sum(1 for node in nodes.values() if node.alive)
         if traced:
             tracer.phase(rnd, "end", count=live)
         tm = self._timing
-        t0 = perf_counter() if tm is not None else 0.0
-        for node in nodes.values():
-            if node.alive:
-                node.program.on_round_end(node.context)
-            if node.behavior is not None:
-                node.behavior.on_round_end(rnd)
-        if tm is not None:
-            tm.add("handler", perf_counter() - t0)
+        if self._sparse:
+            t0 = perf_counter() if tm is not None else 0.0
+            end_visit = self._sched_end()
+            if tm is not None:
+                tm.add("scheduler", perf_counter() - t0)
+            t0 = perf_counter() if tm is not None else 0.0
+            for node_id in end_visit:
+                node = nodes[node_id]
+                if node.alive:
+                    node.program.on_round_end(node.context)
+            # Behaviours tick every round regardless of program activity
+            # (delay queues and injection schedules advance on rounds,
+            # not on deliveries); they never interact with program end
+            # hooks, so running them after the sparse loop matches the
+            # dense interleaving observationally.
+            for behavior_id in self._behavior_nodes:
+                nodes[behavior_id].behavior.on_round_end(rnd)
+            if tm is not None:
+                tm.add("handler", perf_counter() - t0)
+            t0 = perf_counter() if tm is not None else 0.0
+            self._sched_after_end(rnd, end_visit, halted_now)
+            if tm is not None:
+                tm.add("scheduler", perf_counter() - t0)
+        else:
+            t0 = perf_counter() if tm is not None else 0.0
+            for node in nodes.values():
+                if node.alive:
+                    node.program.on_round_end(node.context)
+                if node.behavior is not None:
+                    node.behavior.on_round_end(rnd)
+            if tm is not None:
+                tm.add("handler", perf_counter() - t0)
 
         # Advance simulated time under the shared-link bandwidth model.
         seconds = self.config.round_seconds
@@ -1001,7 +1220,7 @@ class SynchronousNetwork:
         self.stats.rounds.append(
             RoundRecord(rnd=rnd, bytes=round_bytes, seconds=seconds)
         )
-        if traced or _LOG.isEnabledFor(logging.DEBUG):
+        if traced or debug:
             decided = sum(
                 1 for node in nodes.values() if node.program.has_output
             )
@@ -1128,10 +1347,21 @@ class SynchronousNetwork:
         if traced:
             tracer.phase(rnd, "begin", count=len(self._outbox_now))
         self._in_round_begin = True
-        t0 = perf_counter() if tm is not None else 0.0
-        for node in nodes.values():
-            if node.alive:
-                node.program.on_round_begin(node.context)
+        if self._sparse:
+            t0 = perf_counter() if tm is not None else 0.0
+            begin_visit = self._sched_begin(rnd)
+            if tm is not None:
+                tm.add("scheduler", perf_counter() - t0)
+            t0 = perf_counter() if tm is not None else 0.0
+            for node_id in begin_visit:
+                node = nodes[node_id]
+                if node.alive:
+                    node.program.on_round_begin(node.context)
+        else:
+            t0 = perf_counter() if tm is not None else 0.0
+            for node in nodes.values():
+                if node.alive:
+                    node.program.on_round_begin(node.context)
         if tm is not None:
             tm.add("handler", perf_counter() - t0)
         self._in_round_begin = False
@@ -1327,13 +1557,18 @@ class SynchronousNetwork:
                     opened[(env.sender, receiver)] = deque(members)
         if tm is not None:
             tm.add("batch_crypto", perf_counter() - t0)
-        n = self.config.n
-        dispatch = [None] * n
-        for node_id in range(n):
-            node = nodes[node_id]
-            dispatch[node_id] = (
-                node.enclave, node.program.on_message, node.context
-            )
+        # The dispatch table is static between program swaps (halts are
+        # read live off the enclave below), so it is built once per run
+        # instead of once per round.
+        dispatch = self._dispatch_cache
+        if dispatch is None:
+            dispatch = [None] * self.config.n
+            for node_id in range(self.config.n):
+                node = nodes[node_id]
+                dispatch[node_id] = (
+                    node.enclave, node.program.on_message, node.context
+                )
+            self._dispatch_cache = dispatch
         halted = EnclaveState.HALTED
         t0 = perf_counter() if tm is not None else 0.0
         for sender, targets, message, size_hint in plan:
@@ -1360,6 +1595,10 @@ class SynchronousNetwork:
                     on_message(context, sender, message)
         if tm is not None:
             tm.add("handler", perf_counter() - t0)
+        if self._sparse and inbound:
+            # Every receiver that had an envelope opened got at least one
+            # on_message dispatch — deliveries re-wake for phase 6.
+            self._sched_delivered.update(inbound)
 
         # Phase 4: ack wave (same round trip).
         queue = self._ack_queue_fast
@@ -1567,6 +1806,7 @@ class SynchronousNetwork:
         traffic = self.stats.traffic
         read = self.transport.read
         handles = self._pending_handles
+        delivered = self._sched_delivered if self._sparse else None
         tm = self._timing
         if tm is None:
             for wire in wires:
@@ -1585,6 +1825,8 @@ class SynchronousNetwork:
                     if handle is not None:
                         handle.acks += 1
                     continue
+                if delivered is not None:
+                    delivered.add(wire.receiver)
                 receiver_node.program.on_message(
                     receiver_node.context, wire.sender, message
                 )
@@ -1610,6 +1852,8 @@ class SynchronousNetwork:
                 if handle is not None:
                     handle.acks += 1
                 continue
+            if delivered is not None:
+                delivered.add(wire.receiver)
             t0 = perf_counter()
             receiver_node.program.on_message(
                 receiver_node.context, wire.sender, message
@@ -1627,6 +1871,7 @@ class SynchronousNetwork:
         tracer = self.tracer
         traced = tracer.enabled
         handles = self._pending_handles
+        delivered = self._sched_delivered if self._sparse else None
         tm = self._timing
         open_s = handler_s = 0.0
         for wire in wires:
@@ -1668,6 +1913,8 @@ class SynchronousNetwork:
                 # ACKs for unknown multicasts (replays, cross-round strays)
                 # are ignored — exactly the 'treat as omitted' rule.
                 continue
+            if delivered is not None:
+                delivered.add(wire.receiver)
             t0 = perf_counter() if tm is not None else 0.0
             receiver_node.program.on_message(
                 receiver_node.context, wire.sender, message

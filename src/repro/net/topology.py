@@ -6,11 +6,17 @@ flooding suffices in practice.  Both are available here; the simulator
 routes a multicast only to a node's topology neighbours, so running ERB on
 an expander exercises exactly that relaxation (tests assert connectivity
 so the flooding argument applies).
+
+The full mesh is stored *implicitly*: per-node neighbour sets materialize
+lazily on first query.  Dense protocols touch every node's neighbours and
+pay the same O(N²) as an eager table, but sample-based protocols (pb-erb)
+only ever draw O(log N) views via :meth:`Topology.sample_view`, so a
+N=16384 mesh costs O(1) memory instead of gigabytes.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import DeterministicRNG
@@ -20,18 +26,24 @@ from repro.common.types import NodeId
 class Topology:
     """An undirected connectivity graph over node ids ``0..n-1``."""
 
-    def __init__(self, n: int, adjacency: Dict[NodeId, FrozenSet[NodeId]]) -> None:
+    def __init__(
+        self,
+        n: int,
+        adjacency: Dict[NodeId, FrozenSet[NodeId]],
+        _implicit_full_mesh: bool = False,
+    ) -> None:
         self.n = n
         self._adjacency = adjacency
+        self._implicit = _implicit_full_mesh
+        self._everyone: Optional[FrozenSet[NodeId]] = None
+        self._full_mesh: Optional[bool] = True if _implicit_full_mesh else None
+        self._sorted_peers: Dict[NodeId, Tuple[NodeId, ...]] = {}
 
     # ---- constructors --------------------------------------------------
     @staticmethod
     def full_mesh(n: int) -> "Topology":
         """Every peer connected to every other (model assumption S5)."""
-        everyone = frozenset(range(n))
-        return Topology(
-            n, {node: everyone - {node} for node in range(n)}
-        )
+        return Topology(n, {}, _implicit_full_mesh=True)
 
     @staticmethod
     def random_regular(n: int, degree: int, rng: DeterministicRNG) -> "Topology":
@@ -60,23 +72,87 @@ class Topology:
 
     # ---- queries --------------------------------------------------------
     def neighbours(self, node: NodeId) -> FrozenSet[NodeId]:
+        if self._implicit:
+            cached = self._adjacency.get(node)
+            if cached is None:
+                if self._everyone is None:
+                    self._everyone = frozenset(range(self.n))
+                cached = self._everyone - {node}
+                self._adjacency[node] = cached
+            return cached
         return self._adjacency[node]
 
     def are_connected(self, a: NodeId, b: NodeId) -> bool:
+        if self._implicit:
+            return a != b and 0 <= a < self.n and 0 <= b < self.n
         return b in self._adjacency[a]
 
     def degree(self, node: NodeId) -> int:
+        if self._implicit:
+            return self.n - 1
         return len(self._adjacency[node])
 
     @property
     def is_full_mesh(self) -> bool:
-        return all(
-            len(self._adjacency[node]) == self.n - 1 for node in range(self.n)
-        )
+        # Adjacency is immutable after construction, so the O(n) scan is
+        # paid once — sample_view consults this on every gossip fan-out.
+        if self._full_mesh is None:
+            self._full_mesh = all(
+                len(self._adjacency[node]) == self.n - 1
+                for node in range(self.n)
+            )
+        return self._full_mesh
+
+    def sample_view(self, node: NodeId, size: int, rng) -> Tuple[NodeId, ...]:
+        """``size`` distinct neighbours of ``node`` sampled uniformly.
+
+        The partial-view primitive of sample-based probabilistic
+        broadcast: each gossip/echo fan-out targets an independent
+        uniform sample instead of the whole mesh, taking per-broadcast
+        traffic from O(N²) to O(N·size).  Runs in O(size) via a partial
+        Fisher-Yates over an *implicit* pool — on a full mesh the pool
+        ``0..n-2`` maps to peer ids without materializing the O(N)
+        neighbour list, so sampling at N=16384 never touches an O(N)
+        structure.  ``rng`` is any source with ``randrange`` (the
+        enclave's RDRAND stream in protocol code, so views are
+        deterministic per seed and hidden from the OS).
+        """
+        if size < 0:
+            raise ConfigurationError("sample size must be non-negative")
+        if self.is_full_mesh:
+            pool_size = self.n - 1
+            pool = None
+        else:
+            pool = self._sorted_peers.get(node)
+            if pool is None:
+                pool = tuple(sorted(self._adjacency[node]))
+                self._sorted_peers[node] = pool
+            pool_size = len(pool)
+        if size >= pool_size:
+            if pool is None:
+                return tuple(
+                    i if i < node else i + 1 for i in range(pool_size)
+                )
+            return pool
+        # Partial Fisher-Yates with a sparse swap map: index j stands for
+        # itself unless an earlier draw displaced it.
+        swaps: Dict[int, int] = {}
+        picks: List[int] = []
+        limit = pool_size
+        for _ in range(size):
+            j = rng.randrange(limit)
+            limit -= 1
+            picks.append(swaps.get(j, j))
+            swaps[j] = swaps.get(limit, limit)
+        if pool is None:
+            return tuple(i if i < node else i + 1 for i in picks)
+        return tuple(pool[i] for i in picks)
 
     def is_connected(self) -> bool:
         """BFS connectivity check (flooding reaches everyone iff True)."""
         if self.n == 0:
+            return True
+        if self._implicit:
             return True
         seen = {0}
         frontier: List[NodeId] = [0]
@@ -90,6 +166,6 @@ class Topology:
 
     def edges(self) -> Iterable[tuple]:
         for node in range(self.n):
-            for peer in self._adjacency[node]:
+            for peer in self.neighbours(node):
                 if node < peer:
                     yield (node, peer)

@@ -41,15 +41,21 @@ def entries_comparable(newest: Dict, prior: Dict) -> bool:
     The engine data plane (``shm`` vs ``pickle``) is a comparability
     axis too: parallel throughput through shared-memory rings and
     through pickle pipes are different quantities, so a v2 entry never
-    regress-compares against a v1 stamp.  Unlike the machine-shape keys
-    the field may legitimately be absent (entries predating it, serial
-    runs) — two entries without it remain comparable.
+    regress-compares against a v1 stamp.  The round scheduler (``dense``
+    vs ``sparse``) is an axis for the same reason: a sparse round loop
+    skips idle nodes entirely, so its throughput is a different quantity
+    from a dense sweep's and the gate must never compare entries across
+    scheduler modes.  Unlike the machine-shape keys both fields may
+    legitimately be absent (entries predating them, serial runs) — two
+    entries without them remain comparable.
     """
     for key in _STAMP_KEYS:
         a, b = newest.get(key), prior.get(key)
         if a is None or b is None or a != b:
             return False
-    return newest.get("data_plane") == prior.get("data_plane")
+    if newest.get("data_plane") != prior.get("data_plane"):
+        return False
+    return newest.get("scheduler") == prior.get("scheduler")
 
 
 @dataclass
@@ -101,6 +107,8 @@ def check_history(
     stamp_keys = ("git_rev",) + _STAMP_KEYS
     if newest.get("data_plane") is not None:
         stamp_keys += ("data_plane",)
+    if newest.get("scheduler") is not None:
+        stamp_keys += ("scheduler",)
     stamp = ", ".join(f"{key}={newest.get(key)}" for key in stamp_keys)
     lines = [
         f"bench gate: newest entry {newest.get('timestamp', '?')} ({stamp})",

@@ -34,14 +34,17 @@ def git_revision() -> Optional[str]:
 
 
 def machine_stamp(
-    workers: Optional[int] = None, data_plane: Optional[str] = None
+    workers: Optional[int] = None,
+    data_plane: Optional[str] = None,
+    scheduler: Optional[str] = None,
 ) -> Dict:
     """Provenance fields for persisted measurements.
 
     Timestamp-only entries from different machines are incomparable;
     stamping the git rev, CPU count, worker count and — for parallel
-    runs — the engine data plane ("shm" or "pickle") makes a history
-    line reproducible evidence rather than an anecdote.
+    runs — the engine data plane ("shm" or "pickle") and round scheduler
+    ("dense" or "sparse") makes a history line reproducible evidence
+    rather than an anecdote.
     """
     stamp: Dict = {
         "git_rev": git_revision(),
@@ -51,6 +54,8 @@ def machine_stamp(
         stamp["workers"] = workers
     if data_plane is not None:
         stamp["data_plane"] = data_plane
+    if scheduler is not None:
+        stamp["scheduler"] = scheduler
     return stamp
 
 
@@ -61,13 +66,17 @@ def stamps_comparable(a: Dict, b: Dict) -> bool:
     actually stamped) — the two parameters that change what a throughput
     number physically means.  Parallel entries additionally key on the
     engine data plane: a shared-memory number is no evidence about a
-    pickle-pipe number (entries from before the field existed carry no
-    ``data_plane`` and stay comparable with each other).  Git revs are
-    expected to differ; that is the regression being looked for.
+    pickle-pipe number.  The round scheduler ("dense" vs "sparse") is an
+    axis for the same reason — a sparse round loop measures a different
+    quantity.  Both fields may legitimately be absent (entries predating
+    them carry neither and stay comparable with each other).  Git revs
+    are expected to differ; that is the regression being looked for.
     """
     for key in ("cpu_count", "workers"):
         if a.get(key) is None or b.get(key) is None:
             return False
         if a[key] != b[key]:
             return False
-    return a.get("data_plane") == b.get("data_plane")
+    if a.get("data_plane") != b.get("data_plane"):
+        return False
+    return a.get("scheduler") == b.get("scheduler")

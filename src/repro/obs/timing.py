@@ -26,6 +26,9 @@ engine's cost centres:
                coordination overhead
 ``merge``      parallel engine only: splicing staged intents / events
                back into serial order and replaying the transmit plan
+``scheduler``  sparse scheduling only: computing the per-round active
+               set, wake-hint bookkeeping and the incremental doneness
+               tracking (dense scheduling charges nothing here)
 ``other``      the round's measured residual (engine bookkeeping not
                covered by a named bucket)
 
@@ -60,6 +63,7 @@ PHASE_BUCKETS = (
     "barrier",
     "overlap",
     "merge",
+    "scheduler",
     "other",
 )
 

@@ -109,6 +109,24 @@ class EnclaveProgram:
     PROGRAM_NAME = "enclave-program"
     PROGRAM_VERSION = "1"
 
+    #: Opt-in to the engine's sparse round scheduler.  A program that sets
+    #: this True promises that ``on_round_begin`` / ``on_round_end`` are
+    #: exact no-ops (no state change, no RNG draw, no ``ctx`` call, no
+    #: tracer emission) in every round ``r`` where the node received no
+    #: delivery in ``r`` and ``r`` is earlier than the last wake round the
+    #: program hinted via :meth:`sparse_wake_round`.  The engine may then
+    #: skip those hook calls entirely; skipping must be observationally
+    #: invisible (byte-identical results, ledgers and traces).  Programs
+    #: that do not declare this stay on the always-visited list.
+    #:
+    #: The declaration covers the *declaring class's* hooks only: a
+    #: subclass that overrides ``on_round_begin`` / ``on_round_end`` /
+    #: ``sparse_wake_round`` without re-declaring ``SPARSE_AWARE = True``
+    #: in its own body silently falls back to the always-visited list
+    #: (see :func:`sparse_aware`) — new spontaneous activity in an
+    #: override can never be skipped by an inherited promise.
+    SPARSE_AWARE = False
+
     def __init__(self) -> None:
         self._output: object = _UNSET
         self._decided_round: Optional[int] = None
@@ -128,6 +146,23 @@ class EnclaveProgram:
 
     def on_protocol_end(self, ctx) -> None:
         """Called once after the final round; undecided programs accept ⊥."""
+
+    # ---- sparse scheduling (see docs/PERFORMANCE.md) -------------------
+    def sparse_wake_round(self, rnd: int) -> Optional[int]:
+        """The earliest round ``> rnd`` at which this program may act
+        *spontaneously* (its begin/end hooks do something without a
+        delivery having arrived), or ``None`` when the program is purely
+        reactive from here on.
+
+        Only consulted when :data:`SPARSE_AWARE` is True, after the node
+        was visited or delivered to in round ``rnd``.  A delivery always
+        re-wakes the node for that round's end hook regardless of the
+        hint, so reactive work never needs to be declared — only
+        round-number-triggered work (deadlines, per-round bookkeeping)
+        does.  Returning an earlier round than necessary is safe (the
+        hooks run and no-op); returning a *later* one breaks the run.
+        """
+        return rnd + 1
 
     # ---- output handling ----------------------------------------------
     @property
@@ -176,6 +211,33 @@ class EnclaveProgram:
         return (
             f"{self.PROGRAM_NAME}:{self.PROGRAM_VERSION}".encode("utf-8")
         )
+
+
+#: The scheduling-relevant hooks a SPARSE_AWARE declaration vouches for.
+_SPARSE_HOOKS = ("on_round_begin", "on_round_end", "sparse_wake_round")
+
+
+def sparse_aware(program: EnclaveProgram) -> bool:
+    """Whether the sparse scheduler may trust ``program``'s declaration.
+
+    True iff the most-derived class declaring ``SPARSE_AWARE`` sets it
+    True *and* none of the round hooks it vouches for is overridden by a
+    class more derived than that declaration.  This makes subclassing
+    safe by default: a test double or variant protocol that overrides
+    ``on_round_begin`` with new spontaneous behaviour (e.g. a scheduled
+    voluntary halt) drops back to the always-visited list instead of
+    inheriting a promise its override no longer keeps.
+    """
+    mro = type(program).__mro__
+    declaring = next((k for k in mro if "SPARSE_AWARE" in vars(k)), None)
+    if declaring is None or not vars(declaring)["SPARSE_AWARE"]:
+        return False
+    declaring_index = mro.index(declaring)
+    for hook in _SPARSE_HOOKS:
+        hook_cls = next((k for k in mro if hook in vars(k)), None)
+        if hook_cls is not None and mro.index(hook_cls) < declaring_index:
+            return False
+    return True
 
 
 class _Unset:

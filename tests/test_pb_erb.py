@@ -1,0 +1,236 @@
+"""pb-ERB: sample-based probabilistic broadcast, and its sample views.
+
+At test sizes the default knobs resolve to full fan-out (``3⌈log₂N⌉ ≥
+N-1``), where pb-ERB's agreement/validity hold *surely* for ``f ≤ n/4``
+— so these tests can assert them exactly, while the ε-probabilistic
+regime is exercised by the campaign sweep preset and the scaling
+benchmarks.  Also covered: sample-view uniform sampling on implicit and
+materialized topologies, the ε-knob validation and analytics, and the
+campaign integration (run_case + the sweep preset)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary import (
+    RandomOmission,
+    ReceiveOmission,
+    SelectiveOmission,
+    TamperAdversary,
+)
+from repro.campaign.runner import run_case, run_pb_erb_sweep
+from repro.campaign.schedule import Fault, Schedule
+from repro.campaign.spec import ERB_PAYLOAD, CaseSpec
+from repro.common.config import SimulationConfig
+from repro.common.rng import DeterministicRNG
+from repro.core.pb_erb import PbErbConfig, run_pb_erb
+from repro.net.topology import Topology
+
+PAYLOAD = b"pb-test"
+
+
+def _config(n, seed=0, **kwargs):
+    return SimulationConfig(n=n, t=n // 4, seed=seed, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# honest broadcasts
+# ---------------------------------------------------------------------------
+
+def test_honest_broadcast_delivers_everywhere():
+    result = run_pb_erb(_config(24), initiator=3, message=PAYLOAD)
+    assert set(result.outputs) == set(range(24))
+    assert all(v == PAYLOAD for v in result.outputs.values())
+    assert result.rounds_executed <= PbErbConfig().resolved_round_bound(24)
+    assert result.halted == []
+
+
+def test_honest_broadcast_is_deterministic():
+    a = run_pb_erb(_config(16, seed=11), initiator=0, message=PAYLOAD)
+    b = run_pb_erb(_config(16, seed=11), initiator=0, message=PAYLOAD)
+    assert a.outputs == b.outputs
+    assert a.decided_rounds == b.decided_rounds
+    assert a.traffic.messages_sent == b.traffic.messages_sent
+    assert a.traffic.bytes_sent == b.traffic.bytes_sent
+
+
+def test_traffic_is_sampled_not_quadratic():
+    """Every node sends at most one gossip + one vote sample: the ledger
+    is bounded by ``n·(g+e)``, far below deterministic ERB's 2·n·(n-1)
+    at scale (equal only when the samples saturate at n-1)."""
+    n = 64
+    pb = PbErbConfig()
+    result = run_pb_erb(_config(n), initiator=0, message=PAYLOAD, pb=pb)
+    cap = n * (pb.resolved_fanout(n) + pb.resolved_echo_sample(n))
+    assert result.traffic.messages_sent <= cap
+
+
+# ---------------------------------------------------------------------------
+# adversarial broadcasts (full fan-out regime: properties hold surely)
+# ---------------------------------------------------------------------------
+
+def test_agreement_under_omission():
+    n = 20
+    rng = DeterministicRNG("pb-omission")
+    behaviors = {
+        4: SelectiveOmission(victims=set(range(0, n, 2))),
+        9: RandomOmission(rng.fork("omit"), send_drop_p=0.5, recv_drop_p=0.2),
+        14: ReceiveOmission(),
+    }
+    result = run_pb_erb(
+        _config(n, seed=5), initiator=0, message=PAYLOAD, behaviors=behaviors
+    )
+    honest = result.honest_outputs(set(behaviors))
+    assert honest
+    assert len(set(honest.values())) == 1
+    assert set(honest.values()) == {PAYLOAD}
+
+
+def test_integrity_under_tampering():
+    """Tampered ciphertexts are rejected by the channel MAC: honest
+    nodes output the broadcast value or ⊥, never a fabrication."""
+    n = 16
+    result = run_pb_erb(
+        _config(n, seed=7), initiator=0, message=PAYLOAD,
+        behaviors={5: TamperAdversary()},
+    )
+    honest = result.honest_outputs({5})
+    assert all(v in (None, PAYLOAD) for v in honest.values())
+    assert PAYLOAD in honest.values()
+
+
+def test_faulty_initiator_cannot_split_outputs():
+    """A mute initiator yields ⊥ everywhere — never divergent values."""
+    n = 12
+    result = run_pb_erb(
+        _config(n, seed=9), initiator=2, message=PAYLOAD,
+        behaviors={2: SelectiveOmission(victims=set(range(n)))},
+    )
+    honest = result.honest_outputs({2})
+    assert len(set(honest.values())) <= 1
+
+
+# ---------------------------------------------------------------------------
+# sample views
+# ---------------------------------------------------------------------------
+
+def test_sample_view_properties():
+    topo = Topology.full_mesh(50)
+    rng = DeterministicRNG("sample")
+    view = topo.sample_view(7, 12, rng)
+    assert len(view) == 12
+    assert len(set(view)) == 12
+    assert 7 not in view
+    assert all(0 <= peer < 50 for peer in view)
+
+
+def test_sample_view_caps_at_pool_size():
+    topo = Topology.full_mesh(6)
+    view = topo.sample_view(0, 99, DeterministicRNG("cap"))
+    assert sorted(view) == [1, 2, 3, 4, 5]
+
+
+def test_sample_view_deterministic_per_rng():
+    topo = Topology.full_mesh(40)
+    a = topo.sample_view(3, 8, DeterministicRNG(("s", 1)))
+    b = topo.sample_view(3, 8, DeterministicRNG(("s", 1)))
+    c = topo.sample_view(3, 8, DeterministicRNG(("s", 2)))
+    assert a == b
+    assert a != c  # different stream, different view (overwhelmingly)
+
+
+def test_sample_view_implicit_equals_materialized_mesh():
+    """The implicit O(1)-memory full mesh must sample exactly like an
+    explicitly materialized one — same rng stream, same picks."""
+    n = 30
+    implicit = Topology.full_mesh(n)
+    materialized = Topology(
+        n, {i: {j for j in range(n) if j != i} for i in range(n)}
+    )
+    for node in (0, 13, n - 1):
+        a = implicit.sample_view(node, 9, DeterministicRNG(("mesh", node)))
+        b = materialized.sample_view(node, 9, DeterministicRNG(("mesh", node)))
+        assert a == b
+
+
+def test_sample_view_respects_partial_topology():
+    n = 12
+    ring = Topology(
+        n, {i: {(i - 1) % n, (i + 1) % n} for i in range(n)}
+    )
+    view = ring.sample_view(4, 5, DeterministicRNG("ring"))
+    assert set(view) <= set(ring.neighbours(4))
+    assert len(view) == len(set(view)) == 2  # a ring node has 2 peers
+
+
+# ---------------------------------------------------------------------------
+# ε knobs and analytics
+# ---------------------------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PbErbConfig(threshold=0.0)
+    with pytest.raises(ValueError):
+        PbErbConfig(threshold=1.0)
+    with pytest.raises(ValueError):
+        PbErbConfig(epsilon=0.0)
+    with pytest.raises(ValueError):
+        PbErbConfig(sample_factor=0)
+    with pytest.raises(ValueError):
+        PbErbConfig(round_slack=0)
+
+
+def test_resolved_knobs():
+    pb = PbErbConfig()
+    # 3·⌈log₂ 1024⌉ = 30 at N=1024; capped at N-1 for small networks.
+    assert pb.resolved_fanout(1024) == 30
+    assert pb.resolved_fanout(8) == 7
+    assert pb.resolved_echo_sample(1024) == 30
+    assert pb.echo_quorum(1024) == 15
+    explicit = PbErbConfig(fanout=5, echo_sample=200)
+    assert explicit.resolved_fanout(1024) == 5
+    assert explicit.resolved_echo_sample(64) == 63  # capped
+    # Full fan-out saturates in one hop; sampled gossip needs log_g N.
+    assert pb.resolved_round_bound(8) == 1 + pb.round_slack
+    assert pb.resolved_round_bound(16384) > pb.round_slack + 1
+
+
+def test_failure_bound_analytics():
+    pb = PbErbConfig()
+    # Degenerate cases pin to 1.0 (no guarantee claimed).
+    assert pb.failure_bound(1) == 1.0
+    assert pb.failure_bound(100, f=100) == 1.0
+    # More faults can only weaken the bound.
+    n = 4096
+    assert pb.failure_bound(n, 0) <= pb.failure_bound(n, n // 4) <= 1.0
+    # A bigger echo sample tightens it (same τ, larger mean-quorum gap).
+    loose = PbErbConfig(sample_factor=2).failure_bound(n, 0)
+    tight = PbErbConfig(sample_factor=8).failure_bound(n, 0)
+    assert tight <= loose
+
+
+# ---------------------------------------------------------------------------
+# campaign integration
+# ---------------------------------------------------------------------------
+
+def test_campaign_run_case_pb_erb():
+    schedule = Schedule(faults=(
+        Fault(node=3, kind="omit_send", victims=tuple(range(0, 8, 2))),
+    ))
+    spec = CaseSpec(
+        protocol="pb-erb", n=8, t=2, seed=42, schedule=schedule,
+        strategy="omission",
+    )
+    outcome = run_case(spec)
+    assert outcome.passed, [v.detail for v in outcome.violations]
+    assert outcome.result.outputs
+    assert outcome.honest_output() == ERB_PAYLOAD
+
+
+def test_pb_erb_sweep_smoke():
+    cells = run_pb_erb_sweep(n=16, seeds=2, sample_factors=(3,))
+    assert len(cells) == 2  # omission + byzantine
+    for cell in cells:
+        assert cell.runs == 2
+        assert not cell.hard_violations
+        assert cell.passed

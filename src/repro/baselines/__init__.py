@@ -13,12 +13,20 @@
 
 Both run on the same simulator as ERB so the Table 1 benchmark can put
 measured rounds, messages and bytes side by side.
+
+* :mod:`repro.baselines.beacon_committee` — a RandSolomon-flavored
+  analytic cost model of a committee/error-correcting-code random
+  beacon (N = 4f+1, Reed-Solomon shares, signature chains), priced at
+  equal fault tolerance against the measured TEE beacon for the
+  EXPERIMENTS.md "TEE-reduction vs error-correcting-code" row.
 """
 
+from repro.baselines.beacon_committee import CommitteeBeaconModel
 from repro.baselines.rb_early import RbEarlyProgram, run_rb_early
 from repro.baselines.rb_sig import KeyRegistry, RbSigProgram, run_rb_sig
 
 __all__ = [
+    "CommitteeBeaconModel",
     "KeyRegistry",
     "RbEarlyProgram",
     "RbSigProgram",

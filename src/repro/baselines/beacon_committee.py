@@ -1,0 +1,142 @@
+"""Committee beacon cost model — the error-correcting-code baseline.
+
+RandSolomon (PAPERS.md) produces distributed randomness with
+deterministic termination and *optimal resilience for its model*:
+N = 4f+1 parties, no trusted hardware, Reed-Solomon share encoding plus
+signatures doing the work SGX does for ERNG.  This module is an
+**analytic cost model** of that protocol family — not a runnable
+implementation — so EXPERIMENTS.md can put a "TEE-reduction vs
+error-correcting-code" row next to the measured beacon numbers:
+
+* every party RS-encodes its contribution into N fragments (any f+1
+  reconstruct) and sends fragment *j*, signed, to party *j* —
+  ``N·(N-1)`` share messages;
+* every party then relays its received fragment vector, signed, to
+  everyone — ``N·(N-1)`` vector messages of O(N·fragment) bytes (the
+  O(N³)-bits step that dominates);
+* every received message's signature is verified, and every party
+  interpolates N codewords at O((f+1)²) field operations each.
+
+The TEE reduction replaces all of it: attested enclaves make RDRAND
+draws trustworthy at the source, so ERNG needs no PKI, no signature
+chains and no decoding — and tolerates ``t < N/2`` instead of
+``f < N/4``.  The honest comparison is therefore **at equal fault
+tolerance**: to survive f byzantine nodes the committee needs 4f+1
+parties where the TEE beacon needs 2f+1 (P2/P3 bounds), and
+:func:`tolerance_row` prices both at that calibration.
+
+The per-message byte constants reuse :mod:`repro.baselines.rb_sig`'s
+signature footprint so the two baseline families stay comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.common.errors import ConfigurationError
+from repro.crypto.schnorr import SIGNATURE_BYTES
+
+
+@dataclass(frozen=True)
+class CommitteeBeaconModel:
+    """Per-epoch cost accounting for a RandSolomon-style committee.
+
+    ``share_bits`` is each party's randomness contribution (matching the
+    ERNG beacon's ``random_bits``); ``header_bytes`` the per-message
+    envelope, matching the simulator's serialized header overhead.
+    """
+
+    share_bits: int = 128
+    signature_bytes: int = SIGNATURE_BYTES
+    header_bytes: int = 32
+
+    # -- structure ------------------------------------------------------
+    def fault_bound(self, n: int) -> int:
+        """f such that N >= 4f+1 (deterministic-termination optimum)."""
+        if n < 5:
+            raise ConfigurationError(
+                f"committee beacon needs N >= 5 (N = 4f+1); got N={n}"
+            )
+        return (n - 1) // 4
+
+    def committee_for_tolerance(self, f: int) -> int:
+        """Smallest committee tolerating ``f`` byzantine parties."""
+        return 4 * f + 1
+
+    def fragment_bytes(self, n: int) -> int:
+        """One RS fragment: the contribution split over f+1 data symbols
+        (any f+1 of N fragments reconstruct), rounded up to bytes."""
+        f = self.fault_bound(n)
+        share_bytes = (self.share_bits + 7) // 8
+        return max(1, -(-share_bytes // (f + 1)))
+
+    # -- per-epoch costs ------------------------------------------------
+    def rounds(self, n: int) -> int:
+        """Share round + vector round + local reconstruction."""
+        return 2
+
+    def messages(self, n: int) -> int:
+        return 2 * n * (n - 1)
+
+    def bytes_sent(self, n: int) -> int:
+        frag = self.fragment_bytes(n)
+        per_message_overhead = self.signature_bytes + self.header_bytes
+        share_wave = n * (n - 1) * (frag + per_message_overhead)
+        vector_wave = n * (n - 1) * (n * frag + per_message_overhead)
+        return share_wave + vector_wave
+
+    def signature_verifications(self, n: int) -> int:
+        return self.messages(n)
+
+    def field_operations(self, n: int) -> int:
+        """RS interpolation work per party times N parties: each party
+        decodes N codewords at O((f+1)^2) multiply-adds."""
+        f = self.fault_bound(n)
+        return n * n * (f + 1) ** 2
+
+    def epoch_row(self, n: int) -> Dict:
+        """One EXPERIMENTS.md-shaped row of per-epoch counted costs."""
+        return {
+            "n": n,
+            "fault_bound": self.fault_bound(n),
+            "rounds": self.rounds(n),
+            "messages": self.messages(n),
+            "bytes": self.bytes_sent(n),
+            "signature_verifications": self.signature_verifications(n),
+            "field_operations": self.field_operations(n),
+        }
+
+    # -- the apples-to-apples comparison --------------------------------
+    def tolerance_row(self, f: int, tee_row: Dict) -> Dict:
+        """Price the committee at tolerance ``f`` against a measured TEE
+        beacon row (``messages``/``bytes`` per epoch, from the beacon
+        benchmark) whose population tolerates the same ``f``.
+
+        The returned ratios read "committee cost over TEE cost": > 1
+        means the error-correcting-code construction pays more of that
+        resource than the TEE reduction at equal fault tolerance —
+        alongside the structural costs the TEE removes entirely
+        (signature verifications, RS field operations: the TEE column
+        for both is zero).
+        """
+        n = self.committee_for_tolerance(f)
+        row = self.epoch_row(n)
+        epochs = max(1, int(tee_row.get("epochs", 1)))
+        tee_messages = tee_row["messages"] / epochs
+        tee_bytes = tee_row.get("bytes", 0) / epochs
+        comparison = {
+            "tolerance_f": f,
+            "committee_n": n,
+            "tee_n": 2 * f + 1,
+            "committee": row,
+            "tee_messages_per_epoch": round(tee_messages),
+            "message_ratio_committee_over_tee": round(
+                row["messages"] / tee_messages, 3
+            ) if tee_messages else None,
+        }
+        if tee_bytes:
+            comparison["byte_ratio_committee_over_tee"] = round(
+                row["bytes"] / tee_bytes, 3
+            )
+        return comparison

@@ -24,6 +24,7 @@ import argparse
 import json
 import logging
 import sys
+from time import perf_counter
 from typing import List, Optional
 
 from repro import (
@@ -284,30 +285,69 @@ def _cmd_agreement(args: argparse.Namespace) -> int:
 
 
 def _cmd_beacon(args: argparse.Namespace) -> int:
-    ignored = [
-        flag
-        for flag, attr in (
-            ("--trace-out", "trace_out"),
-            ("--timing-out", "timing_out"),
-            ("--metrics-out", "metrics_out"),
-        )
-        if getattr(args, attr, None)
-    ]
-    if ignored:
-        # The beacon builds a fresh SimulationConfig per epoch internally.
+    if args.pipeline and args.optimized:
         print(
-            f"note: {', '.join(ignored)} not supported for the beacon; "
-            "ignoring",
+            "error: --pipeline requires the unoptimized backend "
+            "(the optimized protocol's rounds are seed-locked); "
+            "session reuse still applies without --pipeline",
             file=sys.stderr,
         )
-    beacon = RandomBeacon(n=args.n, t=args.t, seed=args.seed)
-    for _ in range(args.epochs):
-        record = beacon.next_beacon()
-        print(
-            f"epoch {record.epoch}: {record.value:#034x}  "
-            f"digest {record.digest.hex()[:16]}..."
-        )
+        return 2
+    tracer = _tracer_for(args)
+    timing = TimingCollector() if getattr(args, "timing_out", None) else None
+    if getattr(args, "metrics_out", None):
+        PROFILER.enable()
+    extra = {}
+    data_plane = getattr(args, "data_plane", "auto")
+    if data_plane != "auto":
+        extra["parallel_data_plane"] = data_plane
+    scheduler = getattr(args, "scheduler", "auto")
+    if scheduler != "auto":
+        extra["scheduler"] = scheduler
+    # All epochs run on one persistent EngineSession, so the obs flags
+    # scope over the whole service run: one trace, one timing collector
+    # accumulating per-epoch start_run/end_run records, one metrics
+    # registry — and with workers > 1 the crew forks exactly once.
+    result = None
+    t0 = perf_counter()
+    if args.t < 0 and args.optimized:
+        # Mirror the erng-opt command: the optimized backend needs the
+        # t <= N/3 supermajority, not the ERB default (N-1)/2.
+        args.t = args.n // 3
+    with RandomBeacon(
+        n=args.n, t=args.t, seed=args.seed, optimized=args.optimized,
+        session=True, workers=getattr(args, "workers", 1),
+        extra=extra, tracer=tracer, timing=timing,
+    ) as beacon:
+        if args.pipeline:
+            records = beacon.run_pipelined(args.epochs)
+        else:
+            records = [beacon.next_beacon() for _ in range(args.epochs)]
+        result = beacon.last_result
+        for record in records:
+            print(
+                f"epoch {record.epoch}: {record.value:#034x}  "
+                f"digest {record.digest.hex()[:16]}..."
+            )
+        wall = perf_counter() - t0
+        if args.pipeline and result is not None:
+            overlapped = sum(
+                1 for s in beacon.pipeline_stats
+                if s["overlaps_prev_ack_wave"]
+            )
+            print(
+                f"pipelined: {result.rounds_executed} engine rounds for "
+                f"{args.epochs} epochs; {overlapped} epoch hand-offs "
+                "staged inside the previous epoch's ACK-wave round"
+            )
+        if args.epochs and wall > 0:
+            print(f"throughput: {args.epochs / wall:.1f} epochs/s "
+                  f"({wall * 1e3 / args.epochs:.2f} ms/epoch)")
     print(f"chain verifies: {RandomBeacon.verify_chain(beacon.log)}")
+    _finish_trace(tracer, args)
+    _finish_obs(
+        SimulationConfig(n=args.n, t=args.t, timing=timing), args, result
+    )
     return 0
 
 
@@ -595,6 +635,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_beacon = sub.add_parser("beacon", help="run a chained random beacon")
     common(p_beacon, default_n=9)
     p_beacon.add_argument("--epochs", type=int, default=3)
+    p_beacon.add_argument(
+        "--pipeline", action="store_true",
+        help="run all epochs as one pipelined engine run (epoch e+1's "
+             "dissemination staged inside epoch e's final ACK-wave round)",
+    )
+    p_beacon.add_argument(
+        "--optimized", action="store_true",
+        help="use the optimized ERNG backend per epoch (session mode)",
+    )
     p_beacon.set_defaults(func=_cmd_beacon)
 
     p_churn = sub.add_parser(

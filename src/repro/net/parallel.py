@@ -275,6 +275,15 @@ def _worker_init(shard: int, nshards: int) -> None:
     # to owned nodes.  Wake hints are pure functions of enclave state,
     # which is sharded wholesale, so every shard's view evolves exactly
     # like the matching slice of the serial engine's.
+    _rebuild_sparse_view(st)
+    _STATE = st
+
+
+def _rebuild_sparse_view(st: "_WorkerState") -> None:
+    """(Re)build the shard's sparse-scheduler view from the replica's
+    current programs — at fork time and again on every session recycle
+    (the recycled programs may differ in SPARSE_AWARE)."""
+    net = st.net
     st.sparse = net._sparse
     if st.sparse:
         st.aware = {
@@ -293,7 +302,53 @@ def _worker_init(shard: int, nshards: int) -> None:
                 st.decided_count += 1
             elif node.alive:
                 st.undone.add(i)
-    _STATE = st
+
+
+def _worker_recycle(channel, payload: tuple) -> None:
+    """Session recycle (op ``"n"``): re-run the fresh-run reset on this
+    replica so a persistent crew serves the next protocol run without
+    reforking.
+
+    Mirrors what the coordinator's :meth:`SynchronousNetwork.\
+begin_session_run` + ``_setup`` did on its side — same relaunch, same
+    re-seeding, same cache invalidation, then ``on_setup`` for every
+    alive node (fork inheritance would have copied exactly that state) —
+    followed by the worker-side specialisations of ``_worker_init``:
+    queues stay coordinator-owned, the tracer is a local memory sink,
+    timing buckets ship per phase, and the sparse shard view is rebuilt
+    from the new programs.
+    """
+    st = _STATE
+    net = st.net
+    seed, factory, traced, timed = payload
+    net.begin_session_run(factory, seed=seed)
+    # _resolve_run_paths restored config's tracer/timing; re-apply the
+    # worker policy (the inherited config tracer may hold duplicated
+    # file handles, and worker walls are charged per phase, not here).
+    st.traced = traced
+    st.timed = timed
+    net._timing = None
+    if traced:
+        tracer = Tracer.memory()
+        net.tracer = tracer
+        st.events = tracer.events
+    else:
+        net.tracer = NULL_TRACER
+        st.events = None
+    if PROFILER.enabled:
+        PROFILER.registry = MetricsRegistry()
+    for node in net.nodes.values():
+        if node.alive:
+            node.program.on_setup(node.context)
+    # The coordinator owns all queue state (it ran the same on_setup and
+    # keeps the staged intents); worker replicas start each run clean.
+    net._outbox_now.clear()
+    net._outbox_next.clear()
+    net._ack_queue.clear()
+    net._ack_queue_fast.clear()
+    net._ack_digest_by_id.clear()
+    _rebuild_sparse_view(st)
+    channel.send(("r", st.shard))
 
 
 def _check_no_stray_acks(net: SynchronousNetwork, hook: str) -> None:
@@ -690,6 +745,10 @@ def _worker_finish(channel) -> None:
     profile = None
     if PROFILER.enabled and PROFILER.registry is not None:
         profile = PROFILER.registry.dump()
+        # A persistent crew (engine sessions) may serve further runs from
+        # this same process; a fresh registry keeps the next run's dump
+        # from re-shipping (double-counting) this run's observations.
+        PROFILER.registry = MetricsRegistry()
     timing = (perf_counter() - t_start, {"handler": handler_s}) \
         if timed else None
     channel.send(("d", (batches, final, profile, timing)))
@@ -726,6 +785,8 @@ def _worker_main(shard: int, nshards: int, channel) -> None:
                 _worker_end(channel, cmd[1], cmd[2], cmd[3])
             elif op == "f":
                 _worker_finish(channel)
+            elif op == "n":
+                _worker_recycle(channel, cmd[1])
             elif op == "q":
                 break
             else:  # pragma: no cover - protocol bug
@@ -764,6 +825,7 @@ class _ShardCrew:
             if fh is not None and not fh.closed:
                 fh.flush()
         self.channels = make_channels(ctx, nshards, data_plane)
+        self.nshards = nshards
         self.data_plane = (
             self.channels[0].data_plane if self.channels else data_plane
         )
@@ -1403,25 +1465,66 @@ def run_parallel(
     nshards = min(network.config.workers, network.config.n)
     tm = network._timing
     t0 = perf_counter() if tm is not None else 0.0
-    try:
-        crew = _ShardCrew(network, nshards, data_plane)
-    except OSError as exc:  # pragma: no cover - fork/shm exhaustion
-        _LOG.warning("parallel engine unavailable (%s); running serial", exc)
-        return None
+    # Engine sessions (repro.net.session) keep the forked crew alive
+    # across runs: fork once, run many.  A reusable crew must match this
+    # run's shape and come with a recycle payload prepared by the
+    # session's begin_session_run — anything else reforks from scratch.
+    persistent = getattr(network, "_session_persistent", False)
+    crew = getattr(network, "_session_crew", None)
+    reset = network.__dict__.pop("_session_worker_reset", None)
+    if crew is not None and (
+        reset is None
+        or crew.nshards != nshards
+        or crew.data_plane != data_plane
+        or not all(proc.is_alive() for proc in crew.procs)
+    ):
+        crew.shutdown()
+        crew = None
+        network._session_crew = None
+    if crew is not None:
+        try:
+            blob = pickle.dumps(("n", reset), _PKL)
+        except Exception:
+            # Unpicklable program factory: the recycle frame cannot ship;
+            # fall back to a fresh fork (which needs no pickling at all).
+            crew.shutdown()
+            crew = None
+            network._session_crew = None
+        else:
+            crew.broadcast_frame(blob)
+            for shard, channel in enumerate(crew.channels):
+                msg = channel.recv(crew.check_alive)
+                if msg[0] != "r":
+                    crew.raise_worker_error(shard, msg)
+    if crew is None:
+        try:
+            crew = _ShardCrew(network, nshards, data_plane)
+        except OSError as exc:  # pragma: no cover - fork/shm exhaustion
+            _LOG.warning(
+                "parallel engine unavailable (%s); running serial", exc
+            )
+            return None
+        if persistent:
+            network._session_crew = crew
     # Recorded for stamps and tests: which carriage this run actually
     # used ("shm" or "pickle").
     network.parallel_data_plane = crew.data_plane
     if tm is not None:
         # Forking P replicas is the dominant fixed cost of a parallel
         # run; charge it to the run-level barrier bucket so short runs
-        # still account for their measured wall.
+        # still account for their measured wall.  Session reuse turns
+        # this into a cheap recycle handshake — same bucket, so timing
+        # dumps show exactly what the session saved.
         tm.add("barrier", perf_counter() - t0)
     try:
         return _Coordinator(network, crew).run(max_rounds)
     finally:
         # Joining the workers is the tail half of the engine's fixed
         # cost; like the fork it lands in the run-level barrier bucket.
+        # A session-owned crew stays warm for the next run; the session's
+        # close() joins it instead.
         t0 = perf_counter() if tm is not None else 0.0
-        crew.shutdown()
+        if getattr(network, "_session_crew", None) is not crew:
+            crew.shutdown()
         if tm is not None:
             tm.add("barrier", perf_counter() - t0)

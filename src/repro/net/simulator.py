@@ -357,6 +357,25 @@ class SynchronousNetwork:
         # eviction policy is LRU.
         self._digest_cache: "OrderedDict[tuple, bytes]" = OrderedDict()
         self._in_round_begin = False
+        # Nodes with OS behaviours, ascending (static for the network's
+        # lifetime): phase-2 injection drains and phase-6 behaviour ticks
+        # iterate this instead of scanning all N nodes.
+        self._behavior_nodes: List[NodeId] = [
+            node_id for node_id, node in self.nodes.items()
+            if node.behavior is not None
+        ]
+        self._resolve_run_paths()
+
+    def _resolve_run_paths(self) -> None:
+        """(Re)resolve every per-run engine decision from live state.
+
+        Called once by ``__init__`` and again by every
+        :meth:`begin_session_run`: the fast-path eligibility flags depend
+        on the installed programs' measurements, the scheduler mode on
+        their SPARSE_AWARE opt-ins, and the dispatch table on their bound
+        methods — all of which a session recycle may change.
+        """
+        config = self.config
         # The observability hub.  config.tracer wins; the legacy
         # extra["trace_actions"] flag gets a memory tracer so the
         # Definition A.5 `action_trace` view below keeps working; the
@@ -465,13 +484,6 @@ class SynchronousNetwork:
         self._sched_delivered: set = set()
         self._sched_visit: List[NodeId] = []
         self._undone: set = set()
-        # Nodes with OS behaviours, ascending (static for the network's
-        # lifetime): phase-2 injection drains and phase-6 behaviour ticks
-        # iterate this instead of scanning all N nodes.
-        self._behavior_nodes: List[NodeId] = [
-            node_id for node_id, node in self.nodes.items()
-            if node.behavior is not None
-        ]
         # Envelope-path dispatch table, cached across rounds (halts are
         # read live off the enclave; only replace_programs invalidates).
         self._dispatch_cache: Optional[List[tuple]] = None
@@ -645,6 +657,65 @@ class SynchronousNetwork:
         self._dispatch_cache = None
         self.stats = RunStats()
         self.current_round = 0
+
+    def begin_session_run(
+        self,
+        program_factory: Callable[[NodeId], EnclaveProgram],
+        *,
+        seed: Optional[int] = None,
+    ) -> None:
+        """Recycle the network for a fresh, *independent* protocol run.
+
+        Where :meth:`replace_programs` models instance succession inside
+        one execution (same attested code, halts persist, monotone state
+        carries over), a session recycle starts a **new execution** on the
+        long-lived network: every enclave is relaunched — fresh program
+        (any measurement), fresh RDRAND fork off a re-seeded master RNG,
+        trusted-clock reference reset — and every cache that could leak
+        one run's state into the next is invalidated: the ACK digest LRU,
+        the per-round ack-size cache, neighbour tuples, the envelope
+        dispatch table, staged outboxes, ACK queues, future wires and
+        multicast handles.  Traffic stats are rescoped to the new run.
+
+        What deliberately survives is the *network*: topology, secure
+        channels (a FULL session keeps its established keys) and the
+        ModeledTransport's monotone freshness counters keep advancing —
+        a replay captured in run ``i`` is still dead in run ``i+1``.
+        That is the long-lived-service shape: relaunched enclaves joining
+        a new protocol instance over existing channels, not halted ones
+        rejoining an ongoing run (still forbidden, P6).
+
+        Because :class:`DeterministicRNG` forks are label-derived, the
+        recycled network's RNG streams are bit-identical to a freshly
+        built network with the same ``seed`` — session reuse can never
+        change protocol outputs.
+        """
+        if seed is not None:
+            self.config.seed = seed
+        self.master_rng = DeterministicRNG(("simulation", self.config.seed))
+        for node_id in sorted(self.nodes):
+            self.nodes[node_id].enclave.relaunch(
+                program_factory(node_id), self.master_rng
+            )
+        self.transport.refresh_measurements()
+        self._outbox_now.clear()
+        self._outbox_next.clear()
+        self._ack_queue.clear()
+        self._ack_queue_fast.clear()
+        self._ack_digest_by_id.clear()
+        self._future_wires.clear()
+        self._pending_handles.clear()
+        self._ack_size_cache.clear()
+        # Unlike replace_programs (same execution, same multicast
+        # identities) a fresh run must also drop the ACK digest LRU —
+        # stale (instance, round)-keyed digests must not leak across.
+        self._digest_cache.clear()
+        self.invalidate_neighbour_cache()
+        self._dispatch_cache = None
+        self.stats = RunStats()
+        self.current_round = 0
+        self._warned_parallel_fallback = False
+        self._resolve_run_paths()
 
     # ------------------------------------------------------------------
     # main loop

@@ -145,6 +145,16 @@ class Transport:
         """Wire size of ``message`` (computed once per multicast)."""
         return modeled_wire_size(message)
 
+    def refresh_measurements(self) -> None:
+        """Re-read enclave measurements after a session recycle.
+
+        :meth:`SynchronousNetwork.begin_session_run` may install programs
+        with a *different* measurement (a new execution re-attests from
+        scratch); transports that cache measurements at construction
+        override this to pick the new values up.  FULL and NONE read the
+        live enclave state, so the default is a no-op.
+        """
+
 
 class FullTransport(Transport):
     """Real blinded channels between every pair of enclaves."""
@@ -304,6 +314,10 @@ class ModeledTransport(Transport):
         # _accepted[r][s]: highest counter r accepted from s.
         self._send = [array("q", [0]) * n for _ in range(n)]
         self._accepted = [array("q", [0]) * n for _ in range(n)]
+
+    def refresh_measurements(self) -> None:
+        for node, enclave in self._enclaves.items():
+            self._measurements[node] = enclave.measurement
 
     def write(
         self,

@@ -48,12 +48,21 @@ def entries_comparable(newest: Dict, prior: Dict) -> bool:
     scheduler modes.  Unlike the machine-shape keys both fields may
     legitimately be absent (entries predating them, serial runs) — two
     entries without them remain comparable.
+
+    ``suite`` is the benchmark-family axis: the beacon sustained-load
+    rows (``suite="beacon"``) measure epochs of a chained service, not
+    the raw engine sweeps the unsuffixed entries measure, so the gate
+    never cross-compares them.  Like ``data_plane``/``scheduler`` it is
+    absent-tolerant — entries predating the field stay comparable with
+    each other.
     """
     for key in _STAMP_KEYS:
         a, b = newest.get(key), prior.get(key)
         if a is None or b is None or a != b:
             return False
     if newest.get("data_plane") != prior.get("data_plane"):
+        return False
+    if newest.get("suite") != prior.get("suite"):
         return False
     return newest.get("scheduler") == prior.get("scheduler")
 
@@ -109,6 +118,8 @@ def check_history(
         stamp_keys += ("data_plane",)
     if newest.get("scheduler") is not None:
         stamp_keys += ("scheduler",)
+    if newest.get("suite") is not None:
+        stamp_keys += ("suite",)
     stamp = ", ".join(f"{key}={newest.get(key)}" for key in stamp_keys)
     lines = [
         f"bench gate: newest entry {newest.get('timestamp', '?')} ({stamp})",

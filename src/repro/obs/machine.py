@@ -37,6 +37,7 @@ def machine_stamp(
     workers: Optional[int] = None,
     data_plane: Optional[str] = None,
     scheduler: Optional[str] = None,
+    suite: Optional[str] = None,
 ) -> Dict:
     """Provenance fields for persisted measurements.
 
@@ -56,6 +57,8 @@ def machine_stamp(
         stamp["data_plane"] = data_plane
     if scheduler is not None:
         stamp["scheduler"] = scheduler
+    if suite is not None:
+        stamp["suite"] = suite
     return stamp
 
 
@@ -68,9 +71,11 @@ def stamps_comparable(a: Dict, b: Dict) -> bool:
     engine data plane: a shared-memory number is no evidence about a
     pickle-pipe number.  The round scheduler ("dense" vs "sparse") is an
     axis for the same reason — a sparse round loop measures a different
-    quantity.  Both fields may legitimately be absent (entries predating
-    them carry neither and stay comparable with each other).  Git revs
-    are expected to differ; that is the regression being looked for.
+    quantity.  So is the benchmark ``suite``: beacon sustained-load rows
+    measure service epochs, not raw engine sweeps.  These fields may
+    legitimately be absent (entries predating them carry none and stay
+    comparable with each other).  Git revs are expected to differ; that
+    is the regression being looked for.
     """
     for key in ("cpu_count", "workers"):
         if a.get(key) is None or b.get(key) is None:
@@ -78,5 +83,7 @@ def stamps_comparable(a: Dict, b: Dict) -> bool:
         if a[key] != b[key]:
             return False
     if a.get("data_plane") != b.get("data_plane"):
+        return False
+    if a.get("suite") != b.get("suite"):
         return False
     return a.get("scheduler") == b.get("scheduler")

@@ -9,7 +9,10 @@ a CLI table plus (optionally) a self-contained HTML page:
 * a ``--trace-out`` JSONL trace containing :class:`TimingEvent` records
   (a traced *and* timed run) — aggregated to the same shape;
 * a ``BENCH_*.json`` benchmark history — throughput trend across
-  entries plus the regression-gate deltas.
+  entries plus the regression-gate deltas;
+* a ``benchmarks/results/*.json`` row dump (``{"rows": [...]}`` — the
+  figure-sweep tables, e.g. the pb-ERB and optimized-ERNG scaling
+  curves) — rendered as the aligned table EXPERIMENTS.md quotes.
 
 ``timing_to_collapsed`` additionally exports the phase attribution in
 collapsed-stack format (``frame;frame value`` per line, values in
@@ -21,6 +24,7 @@ from __future__ import annotations
 
 import html as _html
 import json
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs.bench import DEFAULT_THRESHOLD, check_history
@@ -49,9 +53,12 @@ def load_payload(path) -> Tuple[str, Dict]:
             return "timing", data
         if isinstance(data.get("history"), list):
             return "bench", data
+        if isinstance(data.get("rows"), list) and data["rows"]:
+            return "rows", data
         raise ValueError(
-            f"{path}: JSON is neither a timing sidecar (kind='timing') "
-            "nor a benchmark history (has 'history')"
+            f"{path}: JSON is neither a timing sidecar (kind='timing'), "
+            "a benchmark history (has 'history'), nor a results row dump "
+            "(has 'rows')"
         )
     timing = _timing_from_trace_lines(text.splitlines())
     if timing is not None:
@@ -273,9 +280,7 @@ def render_bench_report(
         lines.append(f"  {case:<24} " + " → ".join(rates))
     speedups = sorted({
         key for entry in history for key in entry
-        if key.endswith("_speedup_vs_serial")
-        or key.endswith("_speedup_vs_legacy")
-        or key.endswith("_speedup_vs_fanout")
+        if "_speedup" in key
     })
     if speedups:
         lines.append("")
@@ -288,6 +293,51 @@ def render_bench_report(
             lines.append(f"  {key:<28} " + " → ".join(values))
     lines.append("")
     lines.append(check_history(payload, threshold).report())
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# results-rows report (figure sweeps under benchmarks/results/)
+# ----------------------------------------------------------------------
+
+def _rows_and_headers(payload: Dict) -> Tuple[List[dict], List[str]]:
+    rows = [r for r in payload.get("rows", []) if isinstance(r, dict)]
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    return rows, headers
+
+
+def _fmt_cell(value) -> str:
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    if isinstance(value, float):
+        return f"{value:,.3f}".rstrip("0").rstrip(".")
+    if isinstance(value, int) and not isinstance(value, bool):
+        return f"{value:,}"
+    return str(value)
+
+
+def render_rows_report(payload: Dict, title: str = "results") -> str:
+    """The CLI view of one figure-sweep results file: the sweep's rows
+    as one aligned table (the same shape the benchmark prints with
+    ``-s``, reproducible after the fact from the persisted file)."""
+    rows, headers = _rows_and_headers(payload)
+    cells = [[_fmt_cell(row.get(h, "-")) for h in headers] for row in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = [
+        f"results: {title}  ({len(rows)} rows, "
+        f"scale={payload.get('scale', '?')})",
+        "",
+        "  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+    ]
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
 
 
@@ -319,11 +369,32 @@ def _esc(value) -> str:
     return _html.escape(str(value))
 
 
-def render_html(kind: str, payload: Dict) -> str:
-    """Self-contained HTML report for either payload kind."""
+def render_html(kind: str, payload: Dict, title: str = "results") -> str:
+    """Self-contained HTML report for any payload kind."""
     if kind == "timing":
         return _render_timing_html(payload)
+    if kind == "rows":
+        return _render_rows_html(payload, title)
     return _render_bench_html(payload)
+
+
+def _render_rows_html(payload: Dict, title: str) -> str:
+    rows, headers = _rows_and_headers(payload)
+    parts = [_HTML_HEAD.format(title=f"Results — {_esc(title)}")]
+    parts.append(
+        f"<p class=muted>{len(rows)} rows · "
+        f"scale {_esc(payload.get('scale', '?'))}</p><table><tr>"
+    )
+    parts.extend(f"<th>{_esc(h)}</th>" for h in headers)
+    parts.append("</tr>")
+    for row in rows:
+        parts.append("<tr>")
+        parts.extend(
+            f"<td>{_esc(_fmt_cell(row.get(h, '-')))}</td>" for h in headers
+        )
+        parts.append("</tr>")
+    parts.append("</table></body></html>\n")
+    return "".join(parts)
 
 
 def _render_timing_html(payload: Dict) -> str:
@@ -472,9 +543,10 @@ def render_report(
     """Load ``path``, write optional HTML / collapsed-stack artifacts,
     and return the CLI table."""
     kind, payload = load_payload(path)
+    title = Path(path).stem
     if html_out:
         with open(html_out, "w", encoding="utf-8") as fh:
-            fh.write(render_html(kind, payload))
+            fh.write(render_html(kind, payload, title))
     if flame_out:
         if kind != "timing":
             raise ValueError("--flame requires a timing input")
@@ -482,4 +554,6 @@ def render_report(
             fh.write(timing_to_collapsed(payload))
     if kind == "timing":
         return render_timing_report(payload)
+    if kind == "rows":
+        return render_rows_report(payload, title)
     return render_bench_report(payload, threshold)

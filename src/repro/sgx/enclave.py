@@ -70,6 +70,27 @@ class Enclave:
             self.state = EnclaveState.HALTED
             self.halted_round = rnd
 
+    def relaunch(
+        self, program: EnclaveProgram, master_rng: DeterministicRNG
+    ) -> None:
+        """Start a fresh execution in this enclave container.
+
+        P6 forbids a halted enclave *rejoining an ongoing execution* —
+        the session state died with the halt.  A relaunch is the other,
+        legitimate lifecycle: the container boots a new program for a
+        **new** protocol instance, with a fresh RDRAND fork, a fresh
+        measurement and a reset clock reference, exactly as a relaunched
+        enclave joining the next instance of a long-lived service would.
+        Used by :meth:`repro.net.simulator.SynchronousNetwork.\
+begin_session_run`.
+        """
+        self.program = program
+        self.state = EnclaveState.RUNNING
+        self.halted_round = None
+        self.rdrand = RdRand(master_rng, self.node_id)
+        self.clock.reset_reference()
+        self.measurement = measure_program(program)
+
     # ---- attestation (F3) ----------------------------------------------
     def quote(self, report_data: bytes) -> Quote:
         """Produce an attestation quote binding ``report_data`` to this

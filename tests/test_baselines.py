@@ -166,3 +166,49 @@ class TestAppendixBComparison:
     def test_erb_avoids_signature_verification_entirely(self):
         _, registry = run_rb_sig(small_config(8, seed=7), 0, b"v")
         assert registry.verifications > 0  # the cost ERB never pays
+
+
+class TestCommitteeBeaconModel:
+    """The RandSolomon-flavored committee beacon cost model (the
+    EXPERIMENTS.md "TEE-reduction vs error-correcting-code" row)."""
+
+    def test_resilience_calibration(self):
+        from repro.baselines import CommitteeBeaconModel
+        from repro.common.errors import ConfigurationError
+
+        model = CommitteeBeaconModel()
+        # N = 4f+1 is the committee's bound; the TEE beacon needs 2f+1.
+        assert model.fault_bound(9) == 2
+        assert model.fault_bound(12) == 2
+        assert model.fault_bound(13) == 3
+        assert model.committee_for_tolerance(2) == 9
+        with pytest.raises(ConfigurationError):
+            model.fault_bound(4)
+
+    def test_epoch_costs_are_structural(self):
+        from repro.baselines import CommitteeBeaconModel
+
+        model = CommitteeBeaconModel(share_bits=128)
+        row = model.epoch_row(9)
+        # Share wave + vector wave: every message signed and verified.
+        assert row["messages"] == 2 * 9 * 8
+        assert row["signature_verifications"] == row["messages"]
+        # 128 bits over f+1 = 3 data symbols -> 6-byte fragments; the
+        # vector wave carries all N fragments per message.
+        assert model.fragment_bytes(9) == 6
+        assert row["bytes"] > row["messages"] * model.signature_bytes
+        assert row["field_operations"] == 9 * 9 * 3 ** 2
+
+    def test_tolerance_row_prices_at_equal_f(self):
+        from repro.baselines import CommitteeBeaconModel
+
+        model = CommitteeBeaconModel()
+        tee = {"epochs": 2, "messages": 400, "bytes": 40000}
+        row = model.tolerance_row(2, tee)
+        assert row["committee_n"] == 9
+        assert row["tee_n"] == 5
+        assert row["tee_messages_per_epoch"] == 200
+        assert row["message_ratio_committee_over_tee"] == round(
+            row["committee"]["messages"] / 200, 3
+        )
+        assert row["byte_ratio_committee_over_tee"] > 0

@@ -133,14 +133,21 @@ class TestTimingOut:
         assert "machine:" in timeline
         assert "timing (top buckets per round" in timeline
 
-    def test_beacon_ignores_observability_flags(self, tmp_path, capsys):
+    def test_beacon_honours_observability_flags(self, tmp_path, capsys):
+        """The beacon service threads --timing-out through its engine
+        session: one collector spans every epoch's run."""
+        sidecar = tmp_path / "t.json"
         assert main(
             [
-                "beacon", "--n", "9", "--epochs", "1",
-                "--timing-out", str(tmp_path / "t.json"),
+                "beacon", "--n", "9", "--epochs", "2",
+                "--timing-out", str(sidecar),
             ]
         ) == 0
-        assert "not supported for the beacon" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "not supported" not in err
+        assert f"timing written to {sidecar}" in err
+        payload = json.loads(sidecar.read_text())
+        assert payload["rounds"]
 
 
 class TestReportCommand:

@@ -1,0 +1,171 @@
+"""Loopback wire suite: soak, latency distributions, calibration.
+
+Unlike every other benchmark module this one measures **real sockets**:
+N-node loopback clusters (`repro.net.wire`) running ERB/ERNG/beacon over
+TCP.  Wall-clock numbers here are kernel + scheduler quantities, so the
+persisted rows are stamped ``transport="tcp"`` and never enter the
+simulated bench history — the bench gate refuses to cross-compare them
+by construction (see :func:`repro.obs.bench.entries_comparable`).
+
+Three jobs:
+
+* **soak** — repeated cluster runs and a multi-epoch beacon chain; every
+  run must decide on every node and verify its hash chain (flushing out
+  port/lifecycle leaks that single runs hide);
+* **latency distribution** — per-round wall and per-barrier wait
+  histograms (p50/p95/max), the numbers the simulator cannot express;
+* **calibration** — fit the simulator's ``wall = latency + bytes/bw``
+  round model to measured rounds and persist the fit + RMS residual
+  (quoted by EXPERIMENTS.md's measured-vs-modeled table).
+"""
+
+from __future__ import annotations
+
+from bench_common import METRICS, SCALE, machine_stamp, pick, save_results
+
+from repro.apps.beacon import RandomBeacon
+from repro.net.wire import (
+    calibrate_from_results,
+    cluster_configs,
+    fit_round_model,
+    run_cluster,
+)
+
+_ROWS: dict = {}
+
+
+def _persist() -> None:
+    save_results(
+        "wire_loopback",
+        {
+            "machine": machine_stamp(transport="tcp"),
+            "scale": SCALE,
+            "cases": dict(_ROWS),
+        },
+    )
+
+
+def _histogram_row(histogram) -> dict:
+    return {
+        "p50_ms": round(histogram.p50 * 1e3, 3),
+        "p95_ms": round(histogram.p95 * 1e3, 3),
+        "max_ms": round(histogram.max * 1e3, 3),
+    }
+
+
+def test_wire_erb_soak():
+    """Back-to-back clusters must all decide — no leaked ports, tasks
+    or sockets across runs."""
+    n = pick(5, 9, 17)
+    runs = pick(3, 8, 15)
+    wall = METRICS.histogram("wire.erb_cluster_wall_s")
+    for seed in range(runs):
+        result = run_cluster(
+            cluster_configs(n, "erb", seed=seed, message=b"soak")
+        )
+        assert sorted(result.outputs) == list(range(n)), f"seed {seed}"
+        assert result.halted == []
+        wall.observe(result.wall_seconds)
+    _ROWS["wire_erb_soak"] = {
+        "n": n,
+        "runs": runs,
+        "cluster_wall": _histogram_row(wall),
+    }
+    _persist()
+
+
+def test_wire_beacon_chain_soak():
+    """One long-lived cluster chains many epochs; the chain verifies and
+    per-epoch latency is bounded by the round walls, not timeouts."""
+    n = pick(5, 5, 9)
+    epochs = pick(4, 16, 64)
+    result = run_cluster(cluster_configs(n, "beacon", seed=1, epochs=epochs))
+    assert len(result.records) == epochs
+    assert RandomBeacon.verify_chain(result.records)
+    report = result.reports[0]
+    epoch_ms = result.wall_seconds / epochs * 1e3
+    _ROWS["wire_beacon_soak"] = {
+        "n": n,
+        "epochs": epochs,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "ms_per_epoch": round(epoch_ms, 3),
+        "bytes_sent_node0": report.stats.total_bytes_sent,
+    }
+    _persist()
+
+
+def test_wire_round_latency_distribution():
+    """The latency-distribution numbers the simulator can't express:
+    real per-round wall and per-barrier wait quantiles over TCP."""
+    n = pick(5, 9, 17)
+    runs = pick(3, 6, 10)
+    round_wall = METRICS.histogram("wire.round_wall_s")
+    barrier_wait = METRICS.histogram("wire.barrier_wait_s")
+    for seed in range(runs):
+        result = run_cluster(cluster_configs(n, "erng", seed=seed))
+        for report in result.reports.values():
+            for sample in report.stats.round_wall_s.dump()["samples"]:
+                round_wall.observe(sample)
+            for sample in report.stats.barrier_wait_s.dump()["samples"]:
+                barrier_wait.observe(sample)
+    assert round_wall.max > 0.0 and barrier_wait.max >= 0.0
+    # Loopback rounds complete in milliseconds; anything near the 10 s
+    # ejection timeout means barrier logic regressed into timeout-waits.
+    assert round_wall.p95 < 5.0
+    _ROWS["wire_round_latency"] = {
+        "n": n,
+        "runs": runs,
+        "round_wall": _histogram_row(round_wall),
+        "barrier_wait": _histogram_row(barrier_wait),
+    }
+    _persist()
+
+
+def test_wire_calibration_fit():
+    """Fit the simulator's round model against measured rounds across
+    sizes (varying N varies bytes/round, identifying the bandwidth term)
+    and persist the measured-vs-modeled table."""
+    sizes = pick((3, 5), (3, 5, 9), (3, 5, 9, 17))
+    results = []
+    per_size = {}
+    for n in sizes:
+        result = run_cluster(
+            cluster_configs(n, "erng", seed=4)
+        )
+        results.append(result)
+        samples = result.round_samples
+        per_size[n] = {
+            "rounds": len(samples),
+            "bytes_per_round": round(
+                sum(b for b, _ in samples) / max(len(samples), 1)
+            ),
+            "measured_ms_per_round": round(
+                sum(w for _, w in samples) / max(len(samples), 1) * 1e3, 3
+            ),
+        }
+    fit = calibrate_from_results(results)
+    assert fit.samples == sum(len(r.round_samples) for r in results)
+    assert fit.latency_s >= 0.0
+    for n, row in per_size.items():
+        if fit.bandwidth_bytes_per_s is not None:
+            modeled = fit.latency_s + (
+                row["bytes_per_round"] / fit.bandwidth_bytes_per_s
+            )
+        else:
+            modeled = fit.latency_s
+        row["modeled_ms_per_round"] = round(modeled * 1e3, 3)
+    _ROWS["wire_calibration"] = {
+        "fit": fit.to_json_dict(),
+        "per_size": per_size,
+    }
+    _persist()
+
+
+def test_wire_fit_is_exact_on_model_data():
+    """Sanity anchor for the fitter itself, scale-independent."""
+    fit = fit_round_model(
+        [(b, 0.0015 + b / 2e6) for b in (500, 2_000, 8_000, 32_000)]
+    )
+    assert abs(fit.latency_s - 0.0015) < 1e-12
+    assert abs(fit.bandwidth_bytes_per_s - 2e6) < 1e-3
+    assert fit.residual_s < 1e-12

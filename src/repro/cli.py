@@ -16,6 +16,9 @@ Examples::
     python -m repro churn --n 17 --byzantine 1,3,5 --p 0.4 --instances 20
     python -m repro campaign --protocols erb,erng --sizes 5,8 --seeds 3
     python -m repro replay artifacts/repro-erb-n3-t0-seed....json
+    python -m repro cluster --n 5 --protocol erb          # real TCP sockets
+    python -m repro cluster --n 5 --protocol erng --calibrate
+    python -m repro node --config node0.json              # one daemon
 """
 
 from __future__ import annotations
@@ -351,6 +354,149 @@ def _cmd_beacon(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_peer_book(spec: str) -> dict:
+    """Parse ``"1=127.0.0.1:9001,2=127.0.0.1:9002"`` into an address
+    book ``{node_id: (host, port)}``."""
+    book = {}
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        try:
+            pid, addr = entry.split("=", 1)
+            host, port = addr.rsplit(":", 1)
+            book[int(pid)] = (host, int(port))
+        except ValueError:
+            raise SystemExit(
+                f"error: bad --peers entry {entry!r} "
+                "(expected id=host:port)"
+            )
+    return book
+
+
+def _cmd_node(args: argparse.Namespace) -> int:
+    from repro.net.wire import WireNodeConfig, run_node_daemon
+
+    if args.config:
+        try:
+            with open(args.config, "r", encoding="utf-8") as fh:
+                cfg = WireNodeConfig.from_json(fh.read())
+        except OSError as exc:
+            raise SystemExit(f"error: cannot read {args.config}: {exc}")
+    else:
+        if args.node_id is None:
+            raise SystemExit("error: --node-id is required without --config")
+        cfg = WireNodeConfig(
+            node_id=args.node_id,
+            n=args.n,
+            t=args.t,
+            seed=args.seed,
+            protocol=args.protocol,
+            listen_host=args.listen_host,
+            listen_port=args.listen_port,
+            peers=_parse_peer_book(args.peers or ""),
+            security=args.security,
+            initiator=args.initiator,
+            message=args.message.encode("utf-8"),
+            epochs=args.epochs,
+            round_timeout_s=args.round_timeout,
+        )
+    report = run_node_daemon(cfg)
+    # The report is the daemon's machine-readable contract: one JSON
+    # object on stdout (the cluster launcher and tests parse it).
+    json.dump(report.to_json_dict(), sys.stdout)
+    print()
+    return 1 if report.crashed else 0
+
+
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    from repro.net.wire import (
+        allocate_loopback_ports,
+        calibrate_from_results,
+        cluster_configs,
+        run_cluster,
+        run_cluster_processes,
+    )
+
+    ports = allocate_loopback_ports(args.n) if args.processes else None
+    configs = cluster_configs(
+        args.n,
+        args.protocol,
+        t=args.t,
+        seed=args.seed,
+        security=args.security,
+        initiator=args.initiator,
+        message=args.message.encode("utf-8"),
+        epochs=args.epochs,
+        round_timeout_s=args.round_timeout,
+        ports=ports,
+    )
+    if args.processes:
+        result = run_cluster_processes(configs)
+    else:
+        result = run_cluster(configs)
+    values = sorted({repr(v) for v in result.outputs.values()})
+    mode = "multi-process" if args.processes else "in-process"
+    total_bytes = sum(
+        r.stats.total_bytes_sent for r in result.reports.values()
+    )
+    print(f"{args.protocol} over real TCP (N={args.n}, {mode} loopback):")
+    print(f"  accepted value(s): {', '.join(values) or 'none'}")
+    print(f"  decided:           {len(result.outputs)}/{args.n} nodes")
+    print(f"  rounds:            {result.rounds_executed}")
+    print(f"  wall clock:        {result.wall_seconds:.3f} s")
+    if total_bytes:
+        print(f"  wire traffic:      {total_bytes} bytes sent")
+    print(f"  ejected/halted:    {result.halted or 'none'}")
+    if args.protocol == "beacon":
+        for record in result.records:
+            print(
+                f"  epoch {record.epoch}: value={record.value} "
+                f"digest={record.digest.hex()[:16]}…"
+            )
+    if args.calibrate:
+        fit = calibrate_from_results([result])
+        print("calibration fit (wall = latency + bytes/bandwidth):")
+        print(f"  latency:         {fit.latency_s * 1e3:.3f} ms")
+        if fit.bandwidth_bytes_per_s is not None:
+            print(
+                f"  bandwidth:       "
+                f"{fit.bandwidth_bytes_per_s / 1e6:.2f} MB/s"
+            )
+        else:
+            print("  bandwidth:       unidentifiable "
+                  "(byte counts not varied enough)")
+        print(f"  RMS residual:    {fit.residual_s * 1e3:.3f} ms "
+              f"over {fit.samples} rounds")
+        print(f"  suggested --delta for the simulator: "
+              f"{fit.suggested_delta:.6f}")
+    if args.json_out:
+        payload = {
+            "machine": machine_stamp(transport="tcp"),
+            "protocol": args.protocol,
+            "n": args.n,
+            "mode": mode,
+            "rounds_executed": result.rounds_executed,
+            "wall_seconds": result.wall_seconds,
+            "reports": {
+                str(nid): report.to_json_dict()
+                for nid, report in sorted(result.reports.items())
+            },
+        }
+        if args.calibrate:
+            payload["calibration"] = fit.to_json_dict()
+        try:
+            with open(args.json_out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=1)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"error: cannot write {args.json_out}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(f"cluster report written to {args.json_out}", file=sys.stderr)
+    return 0 if len(result.outputs) == args.n - len(result.halted) else 1
+
+
 def _cmd_churn(args: argparse.Namespace) -> int:
     byzantine = [int(x) for x in args.byzantine.split(",")] if args.byzantine else []
     config = _config_for(args)
@@ -659,6 +805,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_churn.add_argument("--instances", type=int, default=20)
     p_churn.set_defaults(func=_cmd_churn)
+
+    def wire_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--t", type=int, default=-1,
+            help="byzantine bound (default: protocol maximum)",
+        )
+        p.add_argument("--seed", type=int, default=0, help="shared seed")
+        p.add_argument(
+            "--protocol", choices=("erb", "erng", "pb-erb", "beacon"),
+            default="erb", help="which protocol the cluster runs",
+        )
+        p.add_argument(
+            "--security", choices=("modeled", "full"), default="modeled",
+            help="modeled channels or full AEAD-sealed envelopes on "
+            "the wire",
+        )
+        p.add_argument("--initiator", type=int, default=0)
+        p.add_argument("--message", default="hello")
+        p.add_argument(
+            "--epochs", type=int, default=1,
+            help="beacon epochs to chain (beacon protocol only)",
+        )
+        p.add_argument(
+            "--round-timeout", type=float, default=10.0, metavar="S",
+            help="per-barrier timeout before a silent peer is ejected",
+        )
+        p.add_argument(
+            "-v", "--verbose", action="count", default=0,
+            help="-v: wire-level INFO; -vv: per-frame DEBUG",
+        )
+
+    p_node = sub.add_parser(
+        "node",
+        help="host one node's enclave as a long-running TCP daemon",
+    )
+    p_node.add_argument(
+        "--config", default=None, metavar="PATH",
+        help="JSON node config (overrides all other flags)",
+    )
+    p_node.add_argument("--node-id", type=int, default=None)
+    p_node.add_argument("--n", type=int, default=5, help="network size")
+    p_node.add_argument(
+        "--listen-host", default="127.0.0.1",
+        help="address to bind the daemon's listener on",
+    )
+    p_node.add_argument(
+        "--listen-port", type=int, default=0,
+        help="listening port (0: let the OS pick)",
+    )
+    p_node.add_argument(
+        "--peers", default="", metavar="BOOK",
+        help="peer address book: 1=127.0.0.1:9001,2=127.0.0.1:9002,...",
+    )
+    wire_common(p_node)
+    p_node.set_defaults(func=_cmd_node)
+
+    p_cluster = sub.add_parser(
+        "cluster",
+        help="spin up an N-node loopback cluster over real TCP sockets",
+    )
+    p_cluster.add_argument("--n", type=int, default=5, help="cluster size")
+    p_cluster.add_argument(
+        "--processes", action="store_true",
+        help="one OS process per node daemon (default: one event loop)",
+    )
+    p_cluster.add_argument(
+        "--calibrate", action="store_true",
+        help="fit the simulator's latency/bandwidth round model against "
+        "the measured rounds and print the fit + residual",
+    )
+    p_cluster.add_argument(
+        "--json-out", default=None, metavar="PATH",
+        help="write per-node reports (stamped transport=\"tcp\") as JSON",
+    )
+    wire_common(p_cluster)
+    p_cluster.set_defaults(func=_cmd_cluster)
 
     p_inspect = sub.add_parser(
         "inspect", help="render a --trace-out JSONL file as a round timeline"

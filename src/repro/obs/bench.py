@@ -52,9 +52,12 @@ def entries_comparable(newest: Dict, prior: Dict) -> bool:
     ``suite`` is the benchmark-family axis: the beacon sustained-load
     rows (``suite="beacon"``) measure epochs of a chained service, not
     the raw engine sweeps the unsuffixed entries measure, so the gate
-    never cross-compares them.  Like ``data_plane``/``scheduler`` it is
-    absent-tolerant — entries predating the field stay comparable with
-    each other.
+    never cross-compares them.  ``transport`` separates real-network
+    entries (``transport="tcp"`` from the loopback wire suite) from
+    simulated ones, which carry no transport field: socket wall clock
+    and simulated wall clock are different quantities.  Like
+    ``data_plane``/``scheduler`` both are absent-tolerant — entries
+    predating the fields stay comparable with each other.
     """
     for key in _STAMP_KEYS:
         a, b = newest.get(key), prior.get(key)
@@ -63,6 +66,8 @@ def entries_comparable(newest: Dict, prior: Dict) -> bool:
     if newest.get("data_plane") != prior.get("data_plane"):
         return False
     if newest.get("suite") != prior.get("suite"):
+        return False
+    if newest.get("transport") != prior.get("transport"):
         return False
     return newest.get("scheduler") == prior.get("scheduler")
 

@@ -38,6 +38,7 @@ def machine_stamp(
     data_plane: Optional[str] = None,
     scheduler: Optional[str] = None,
     suite: Optional[str] = None,
+    transport: Optional[str] = None,
 ) -> Dict:
     """Provenance fields for persisted measurements.
 
@@ -45,7 +46,8 @@ def machine_stamp(
     stamping the git rev, CPU count, worker count and — for parallel
     runs — the engine data plane ("shm" or "pickle") and round scheduler
     ("dense" or "sparse") makes a history line reproducible evidence
-    rather than an anecdote.
+    rather than an anecdote.  Real-network runs additionally stamp the
+    ``transport`` ("tcp"); simulated entries carry none.
     """
     stamp: Dict = {
         "git_rev": git_revision(),
@@ -59,6 +61,8 @@ def machine_stamp(
         stamp["scheduler"] = scheduler
     if suite is not None:
         stamp["suite"] = suite
+    if transport is not None:
+        stamp["transport"] = transport
     return stamp
 
 
@@ -72,10 +76,13 @@ def stamps_comparable(a: Dict, b: Dict) -> bool:
     pickle-pipe number.  The round scheduler ("dense" vs "sparse") is an
     axis for the same reason — a sparse round loop measures a different
     quantity.  So is the benchmark ``suite``: beacon sustained-load rows
-    measure service epochs, not raw engine sweeps.  These fields may
-    legitimately be absent (entries predating them carry none and stay
-    comparable with each other).  Git revs are expected to differ; that
-    is the regression being looked for.
+    measure service epochs, not raw engine sweeps.  And so is the
+    ``transport``: a real-TCP wall clock (``transport="tcp"``) measures
+    sockets and kernels, never comparable with a simulated number (which
+    carries no transport field at all).  These fields may legitimately
+    be absent (entries predating them carry none and stay comparable
+    with each other).  Git revs are expected to differ; that is the
+    regression being looked for.
     """
     for key in ("cpu_count", "workers"):
         if a.get(key) is None or b.get(key) is None:
@@ -85,5 +92,7 @@ def stamps_comparable(a: Dict, b: Dict) -> bool:
     if a.get("data_plane") != b.get("data_plane"):
         return False
     if a.get("suite") != b.get("suite"):
+        return False
+    if a.get("transport") != b.get("transport"):
         return False
     return a.get("scheduler") == b.get("scheduler")

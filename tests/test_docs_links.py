@@ -1,14 +1,27 @@
 """Documentation hygiene: every relative link in the markdown docs
-resolves, and the documentation index covers all of docs/."""
+resolves, every backticked ``repro.*`` path and ``python -m repro``
+subcommand named in a doc actually exists, and the documentation index
+covers all of docs/."""
 
 from __future__ import annotations
 
+import importlib.util
 import os
 import subprocess
 import sys
 
+import pytest
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 CHECKER = os.path.join(REPO_ROOT, "tools", "check_docs_links.py")
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_docs_links", CHECKER)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
 
 
 def test_no_broken_relative_links():
@@ -16,6 +29,36 @@ def test_no_broken_relative_links():
         [sys.executable, CHECKER], capture_output=True, text=True
     )
     assert proc.returncode == 0, proc.stderr
+
+
+def test_module_path_verifier(checker):
+    assert checker._resolve_repro_path("repro.net.wire")
+    assert checker._resolve_repro_path("repro.net.wire.fit_round_model")
+    assert checker._resolve_repro_path("repro.obs.machine.machine_stamp")
+    # logger names are legitimate doc references, not modules
+    assert checker._resolve_repro_path("repro.engine")
+    assert not checker._resolve_repro_path("repro.net.no_such_module")
+    assert not checker._resolve_repro_path("repro.net.wire.no_such_attr")
+
+
+def test_cli_subcommand_verifier(checker):
+    commands = checker.cli_commands()
+    assert {"erb", "erng", "beacon", "node", "cluster", "replay"} <= commands
+
+
+def test_checker_reports_stale_references(checker, tmp_path):
+    """A doc naming a dead module or unknown subcommand must fail."""
+    bad = checker.REPO_ROOT / "docs" / "_tmp_stale_check.md"
+    bad.write_text(
+        "see `repro.net.nonexistent` and run `python -m repro frobnicate`\n",
+        encoding="utf-8",
+    )
+    try:
+        problems = checker.check_file(bad)
+    finally:
+        bad.unlink()
+    assert any("unresolvable module path" in p for p in problems)
+    assert any("unknown CLI subcommand" in p for p in problems)
 
 
 def test_readme_indexes_every_doc():

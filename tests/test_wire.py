@@ -1,0 +1,354 @@
+"""Tests for the real-network wire transport (`repro.net.wire`).
+
+The load-bearing claims:
+
+* an N=5 loopback cluster over real TCP sockets reaches **decisions
+  identical to the simulator** at the same seed — outputs, decided
+  rounds and round counts — for ERB, ERNG, pb-ERB, and chained beacon
+  epochs, under both MODELED and FULL channel security;
+* dead and silent peers are **ejected cleanly** (EOF and barrier-timeout
+  paths) and the survivors still decide;
+* shutdown is clean: SIGTERM-driven daemons exit zero with a parseable
+  report, and the in-process runner leaves **no orphan asyncio tasks**.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import subprocess
+import tempfile
+import time
+
+import pytest
+
+from repro.apps.beacon import RandomBeacon
+from repro.common.config import ChannelSecurity, SimulationConfig
+from repro.common.errors import ConfigurationError
+from repro.core.erb import run_erb
+from repro.core.erng import run_erng
+from repro.core.pb_erb import run_pb_erb
+from repro.net.wire import (
+    WireNodeConfig,
+    allocate_loopback_ports,
+    calibrate_from_results,
+    cluster_configs,
+    fit_round_model,
+    run_cluster,
+    run_cluster_async,
+    spawn_node_processes,
+)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+
+class TestWireNodeConfig:
+    def test_json_round_trip(self):
+        cfg = cluster_configs(
+            3, "erng", seed=2, ports=[9001, 9002, 9003]
+        )[1]
+        assert WireNodeConfig.from_json(cfg.to_json()) == cfg
+
+    def test_json_round_trip_fail_knobs(self):
+        cfg = cluster_configs(
+            3, "erb", fail_at_round={0: 2}, fail_mode="hang",
+            ports=[9001, 9002, 9003],
+        )[0]
+        restored = WireNodeConfig.from_json(cfg.to_json())
+        assert restored.fail_at_round == 2
+        assert restored.fail_mode == "hang"
+
+    def test_t_defaults_to_protocol_maximum(self):
+        cfg = WireNodeConfig(node_id=0, n=7)
+        assert cfg.t == 3
+
+    def test_rejects_unknown_protocol(self):
+        with pytest.raises(ConfigurationError):
+            WireNodeConfig(node_id=0, n=3, protocol="zab")
+
+    def test_rejects_unknown_security(self):
+        with pytest.raises(ConfigurationError):
+            WireNodeConfig(node_id=0, n=3, security="tls")
+
+    def test_config_digest_binds_run_parameters(self):
+        a = WireNodeConfig(node_id=0, n=5, seed=1)
+        b = WireNodeConfig(node_id=1, n=5, seed=1)
+        c = WireNodeConfig(node_id=0, n=5, seed=2)
+        # Same run parameters from different nodes agree; a different
+        # seed must not (the HELLO handshake refuses mismatched peers).
+        assert a.config_digest() == b.config_digest()
+        assert a.config_digest() != c.config_digest()
+
+
+# ----------------------------------------------------------------------
+# decision identity with the simulator
+# ----------------------------------------------------------------------
+
+class TestDecisionIdentity:
+    def test_erb_n5_matches_simulator(self):
+        result = run_cluster(
+            cluster_configs(5, "erb", seed=7, message=b"wire-payload")
+        )
+        sim = run_erb(
+            SimulationConfig(n=5, seed=7),
+            initiator=0, message=b"wire-payload",
+        )
+        assert result.outputs == sim.outputs
+        assert result.decided_rounds == sim.decided_rounds
+        assert result.rounds_executed == sim.rounds_executed
+
+    def test_erng_n5_matches_simulator(self):
+        result = run_cluster(cluster_configs(5, "erng", seed=11))
+        sim = run_erng(SimulationConfig(n=5, seed=11))
+        assert result.outputs == sim.outputs
+        assert result.decided_rounds == sim.decided_rounds
+        assert result.rounds_executed == sim.rounds_executed
+
+    def test_pb_erb_n5_matches_simulator(self):
+        result = run_cluster(
+            cluster_configs(5, "pb-erb", seed=3, message=b"pb")
+        )
+        sim = run_pb_erb(
+            SimulationConfig(n=5, seed=3), initiator=0, message=b"pb"
+        )
+        assert result.outputs == sim.outputs
+        assert result.decided_rounds == sim.decided_rounds
+
+    def test_full_security_matches_simulator(self):
+        """FULL channels: real AEAD envelopes cross the sockets, and the
+        per-link counter sequences replayed from the shared seed line up
+        with the simulator's establishment order exactly."""
+        result = run_cluster(
+            cluster_configs(5, "erb", seed=5, message=b"sealed",
+                            security="full")
+        )
+        sim = run_erb(
+            SimulationConfig(
+                n=5, seed=5, channel_security=ChannelSecurity.FULL
+            ),
+            initiator=0, message=b"sealed",
+        )
+        assert result.outputs == sim.outputs
+        assert result.decided_rounds == sim.decided_rounds
+
+    def test_erb_seed_sweep_matches_simulator(self):
+        for seed in (0, 1, 42):
+            result = run_cluster(
+                cluster_configs(5, "erb", seed=seed, message=b"s")
+            )
+            sim = run_erb(
+                SimulationConfig(n=5, seed=seed), initiator=0, message=b"s"
+            )
+            assert result.outputs == sim.outputs, f"seed {seed}"
+
+    def test_beacon_epochs_match_random_beacon(self):
+        """Two chained epochs over TCP reproduce RandomBeacon's log —
+        values, previous-digest links and record digests."""
+        result = run_cluster(cluster_configs(5, "beacon", seed=13, epochs=2))
+        beacon = RandomBeacon(n=5, seed=13)
+        beacon.next_beacon()
+        beacon.next_beacon()
+        assert result.records == beacon.log
+        assert RandomBeacon.verify_chain(result.records)
+
+
+# ----------------------------------------------------------------------
+# dead/slow peer handling
+# ----------------------------------------------------------------------
+
+class TestDeadPeers:
+    def test_crashed_peer_is_ejected_and_survivors_decide(self):
+        result = run_cluster(
+            cluster_configs(5, "erb", seed=7, message=b"x",
+                            fail_at_round={4: 2})
+        )
+        assert sorted(result.outputs) == [0, 1, 2, 3]
+        assert result.reports[4].crashed
+        for survivor in (0, 1, 2, 3):
+            assert result.reports[survivor].ejected_peers == [4]
+
+    def test_silent_peer_ejected_on_barrier_timeout(self):
+        """A hung peer (sockets open, nothing sent) must be ejected
+        after the timeout + grace retry, and the survivors decide."""
+        result = run_cluster(
+            cluster_configs(5, "erb", seed=7, message=b"x",
+                            fail_at_round={3: 2}, fail_mode="hang",
+                            round_timeout_s=0.4)
+        )
+        assert sorted(result.outputs) == [0, 1, 2, 4]
+        for survivor in (0, 1, 2, 4):
+            assert result.reports[survivor].ejected_peers == [3]
+
+    def test_crashed_initiator_leaves_no_decision(self):
+        """If the initiator dies before round 1 nothing was ever sent;
+        the cluster must terminate round-bounded, not hang."""
+        result = run_cluster(
+            cluster_configs(4, "erb", seed=1, message=b"x",
+                            fail_at_round={0: 1})
+        )
+        assert result.outputs == {}
+        assert result.reports[0].crashed
+
+
+# ----------------------------------------------------------------------
+# clean shutdown
+# ----------------------------------------------------------------------
+
+class TestShutdown:
+    def test_in_process_cluster_leaves_no_orphan_tasks(self):
+        async def main():
+            result = await run_cluster_async(
+                cluster_configs(5, "erb", seed=7, message=b"x")
+            )
+            # Every reader task, dialer and server must be joined by the
+            # time run_service returns — only this coroutine remains.
+            leftovers = [
+                t for t in asyncio.all_tasks()
+                if t is not asyncio.current_task()
+            ]
+            return result, leftovers
+
+        result, leftovers = asyncio.run(main())
+        assert sorted(result.outputs) == [0, 1, 2, 3, 4]
+        assert leftovers == []
+
+    def test_shutdown_request_stops_multi_epoch_run(self):
+        """node.shutdown() (the SIGTERM handler's body) stops a beacon
+        service at the next boundary with no orphan tasks."""
+        from repro.net.wire import WireNode
+
+        async def main():
+            configs = cluster_configs(3, "beacon", seed=2, epochs=10_000)
+            nodes = [WireNode(cfg) for cfg in configs]
+            ports = {}
+            for node in nodes:
+                _, port = await node.start_server()
+                ports[node.cfg.node_id] = port
+            for node in nodes:
+                node.cfg.peers = {
+                    pid: ("127.0.0.1", p) for pid, p in ports.items()
+                    if pid != node.cfg.node_id
+                }
+            tasks = [
+                asyncio.ensure_future(node.run_service()) for node in nodes
+            ]
+            # Let a few epochs complete, then stop every daemon.
+            await asyncio.sleep(0.3)
+            for node in nodes:
+                node.shutdown()
+            reports = await asyncio.wait_for(asyncio.gather(*tasks), 30)
+            leftovers = [
+                t for t in asyncio.all_tasks()
+                if t is not asyncio.current_task()
+            ]
+            return reports, leftovers
+
+        reports, leftovers = asyncio.run(main())
+        assert leftovers == []
+        for report in reports:
+            assert not report.crashed
+            # Interrupted long before 10k epochs: the stop actually
+            # took effect rather than the service running to completion.
+            assert len(report.records) < 10_000
+
+    def test_sigterm_daemon_processes_exit_cleanly(self):
+        """Real daemons, real signals: SIGTERM mid-service must produce
+        exit code 0 and a parseable report — no kill -9, no orphans."""
+        ports = allocate_loopback_ports(3)
+        configs = cluster_configs(
+            3, "beacon", seed=2, epochs=100_000, ports=ports
+        )
+        with tempfile.TemporaryDirectory() as config_dir:
+            procs = spawn_node_processes(configs, config_dir)
+            try:
+                time.sleep(2.0)     # past startup, service mid-stream
+                assert all(p.poll() is None for p in procs), \
+                    "daemons died before SIGTERM"
+                for proc in procs:
+                    proc.send_signal(signal.SIGTERM)
+                for proc in procs:
+                    out, _ = proc.communicate(timeout=30)
+                    assert proc.returncode == 0, out
+                    report = json.loads(out.strip().splitlines()[-1])
+                    assert report["crashed"] is False
+            finally:
+                for proc in procs:
+                    if proc.poll() is None:
+                        proc.kill()
+                        proc.wait()
+
+
+# ----------------------------------------------------------------------
+# calibration
+# ----------------------------------------------------------------------
+
+class TestCalibration:
+    def test_fit_recovers_synthetic_model(self):
+        samples = [(b, 0.002 + b / 1e6) for b in (1_000, 5_000, 20_000, 80_000)]
+        fit = fit_round_model(samples)
+        assert fit.latency_s == pytest.approx(0.002, abs=1e-9)
+        assert fit.bandwidth_bytes_per_s == pytest.approx(1e6, rel=1e-9)
+        assert fit.residual_s < 1e-9
+        assert fit.suggested_delta == pytest.approx(0.001, abs=1e-9)
+
+    def test_fit_degenerate_single_byte_count(self):
+        fit = fit_round_model([(100, 0.01), (100, 0.03)])
+        assert fit.bandwidth_bytes_per_s is None
+        assert fit.latency_s == pytest.approx(0.02)
+        assert fit.residual_s == pytest.approx(0.01)
+
+    def test_fit_noise_dominated_falls_back_to_latency(self):
+        # More bytes measured *faster*: a negative slope must not be
+        # reported as a bandwidth.
+        fit = fit_round_model([(1_000, 0.05), (50_000, 0.01)])
+        assert fit.bandwidth_bytes_per_s is None
+
+    def test_fit_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            fit_round_model([])
+
+    def test_calibrate_from_measured_cluster(self):
+        result = run_cluster(cluster_configs(5, "erng", seed=9))
+        fit = calibrate_from_results([result])
+        assert fit.samples == result.rounds_executed
+        assert fit.latency_s >= 0.0
+        assert fit.residual_s >= 0.0
+
+
+# ----------------------------------------------------------------------
+# observability stamps
+# ----------------------------------------------------------------------
+
+class TestTransportStamp:
+    def test_wire_stats_snapshot_is_tcp_stamped(self):
+        result = run_cluster(cluster_configs(3, "erb", seed=1, message=b"x"))
+        snap = result.reports[0].stats.snapshot()
+        assert snap["transport"] == "tcp"
+        assert snap["total_bytes_sent"] > 0
+        assert set(snap["bytes_sent_by_peer"]) == {1, 2}
+
+    def test_machine_stamp_transport_axis(self):
+        from repro.obs.machine import machine_stamp, stamps_comparable
+
+        assert "transport" not in machine_stamp()
+        tcp = machine_stamp(workers=1, transport="tcp")
+        sim = machine_stamp(workers=1)
+        assert tcp["transport"] == "tcp"
+        # A real-TCP number is never evidence about a simulated one.
+        assert not stamps_comparable(tcp, sim)
+        assert stamps_comparable(tcp, machine_stamp(workers=1, transport="tcp"))
+
+    def test_bench_entries_transport_axis(self):
+        from repro.obs.bench import entries_comparable
+
+        base = {"cpu_count": 4, "workers": 1, "scale": "default"}
+        assert entries_comparable(dict(base), dict(base))
+        assert not entries_comparable(
+            dict(base, transport="tcp"), dict(base)
+        )
+        assert entries_comparable(
+            dict(base, transport="tcp"), dict(base, transport="tcp")
+        )

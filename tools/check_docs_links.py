@@ -1,29 +1,42 @@
 #!/usr/bin/env python3
-"""Fail on broken relative links in the repository's markdown docs.
+"""Fail on broken references in the repository's markdown docs.
 
 Scans README.md, the top-level ``*.md`` files and everything under
-``docs/`` for markdown links (``[text](target)``) and bare
-backtick-quoted file references of the form ```docs/NAME.md```, and
-checks that every *relative* target exists in the working tree.
-External links (``http://``, ``https://``, ``mailto:``) and pure
-anchors (``#section``) are skipped; an in-file anchor suffix
-(``FILE.md#section``) is checked against the headings of the target
-file.
+``docs/`` for three kinds of reference and checks each against the
+working tree:
 
-Exit status: 0 when every link resolves, 1 otherwise (one line per
-broken link).  Run from anywhere::
+* markdown links (``[text](target)``) and bare backtick-quoted file
+  references of the form ```docs/NAME.md```: every *relative* target
+  must exist.  External links (``http://``, ``https://``, ``mailto:``)
+  and pure anchors (``#section``) are skipped; an in-file anchor suffix
+  (``FILE.md#section``) is checked against the headings of the target
+  file;
+* backticked ``repro.*`` dotted paths (``repro.net.wire``,
+  ``repro.obs.machine.machine_stamp()``): the longest importable module
+  prefix is imported and any remaining segments resolved as attributes
+  — a renamed module or deleted function makes the doc fail here
+  instead of rotting silently;
+* CLI invocations (``python -m repro <subcommand>``, including brace
+  sets like ``{erb,erng,node}``): every named subcommand must exist in
+  the argparse tree ``repro.cli.build_parser()`` actually builds.
+
+Exit status: 0 when every reference resolves, 1 otherwise (one line per
+problem).  Run from anywhere::
 
     python tools/check_docs_links.py
 """
 
 from __future__ import annotations
 
+import importlib
 import re
 import sys
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Optional, Set, Tuple
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+sys.path.insert(0, str(REPO_ROOT / "src"))
 
 #: Markdown inline links: [text](target) — excluding images' alt text
 #: being relevant (images are checked the same way).
@@ -33,6 +46,71 @@ _LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _BACKTICK_RE = re.compile(r"`((?:docs/)?[A-Za-z0-9_\-]+\.md)`")
 
 _SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+#: Backticked dotted repro paths: `repro.net.wire`,
+#: `repro.obs.machine.machine_stamp()`, `repro.core.erb` — a trailing
+#: call suffix is stripped before resolution.
+_MODULE_RE = re.compile(r"`(repro(?:\.\w+)+)(?:\(\))?`")
+
+#: Dotted names under `repro` that are loggers, not modules — docs refer
+#: to them legitimately (`logging.getLogger("repro.engine")`).
+_LOGGER_NAMES = {"repro.engine", "repro.protocol"}
+
+#: CLI invocations: `python -m repro erb ...` and the brace-set form
+#: `python -m repro {erb,erng,node}` used by module-map tables.
+_CLI_RE = re.compile(r"python -m repro\s+([a-z][a-z0-9-]*)")
+_CLI_SET_RE = re.compile(r"python -m repro\s+\{([^}]+)\}")
+
+_resolve_cache: dict = {}
+
+
+def _resolve_repro_path(dotted: str) -> bool:
+    """Whether a dotted ``repro.*`` path names a real module/attribute.
+
+    Imports the longest importable module prefix, then walks the
+    remaining segments with ``getattr`` — so both ``repro.net.wire``
+    (module) and ``repro.net.wire.fit_round_model`` (function) resolve.
+    """
+    if dotted in _resolve_cache:
+        return _resolve_cache[dotted]
+    ok = False
+    if dotted in _LOGGER_NAMES:
+        ok = True
+    else:
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            try:
+                obj = importlib.import_module(".".join(parts[:cut]))
+            except ImportError:
+                continue
+            try:
+                for attr in parts[cut:]:
+                    obj = getattr(obj, attr)
+            except AttributeError:
+                break
+            ok = True
+            break
+    _resolve_cache[dotted] = ok
+    return ok
+
+
+_cli_commands: Optional[Set[str]] = None
+
+
+def cli_commands() -> Set[str]:
+    """The subcommand names ``repro.cli.build_parser()`` registers."""
+    global _cli_commands
+    if _cli_commands is None:
+        import argparse
+
+        from repro.cli import build_parser
+
+        commands: Set[str] = set()
+        for action in build_parser()._actions:
+            if isinstance(action, argparse._SubParsersAction):
+                commands.update(action.choices)
+        _cli_commands = commands
+    return _cli_commands
 
 
 def doc_files() -> List[Path]:
@@ -79,6 +157,24 @@ def check_file(path: Path) -> List[str]:
             if anchor.lower() not in _anchors(resolved):
                 problems.append(
                     f"{rel}:{lineno}: missing anchor -> {target}"
+                )
+    rel = path.relative_to(REPO_ROOT)
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _MODULE_RE.finditer(line):
+            dotted = match.group(1)
+            if not _resolve_repro_path(dotted):
+                problems.append(
+                    f"{rel}:{lineno}: unresolvable module path -> {dotted}"
+                )
+        named = [m.group(1) for m in _CLI_RE.finditer(line)]
+        for m in _CLI_SET_RE.finditer(line):
+            named.extend(part.strip() for part in m.group(1).split(","))
+        for command in named:
+            if command and command not in cli_commands():
+                problems.append(
+                    f"{rel}:{lineno}: unknown CLI subcommand -> {command}"
                 )
     return problems
 
